@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration harnesses.
+ *
+ * Every bench binary prints the rows/series of one table or figure
+ * from the paper's evaluation, using the synthetic corpus substrate
+ * (see DESIGN.md for the substitutions). Absolute values depend on
+ * the corpus; the *shape* of each figure is what must match, and
+ * EXPERIMENTS.md records paper-vs-measured per figure.
+ */
+
+#ifndef RHMD_BENCH_BENCH_COMMON_HH
+#define RHMD_BENCH_BENCH_COMMON_HH
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/reverse_engineer.hh"
+#include "core/rhmd.hh"
+#include "ml/metrics.hh"
+#include "support/csv.hh"
+#include "support/table.hh"
+
+namespace rhmd::bench
+{
+
+/** The standard bench corpus (paper: 554 benign + 3000 malware). */
+inline core::ExperimentConfig
+standardConfig()
+{
+    core::ExperimentConfig config;
+    config.seed = 20171014;  // MICRO-50 opening day
+    config.benignCount = 180;
+    config.malwareCount = 360;
+    config.periods = {5000, 10000};
+    config.traceInsts = 120000;
+    return config;
+}
+
+/** Feature spec shorthand. */
+inline features::FeatureSpec
+spec(features::FeatureKind kind, std::uint32_t period)
+{
+    features::FeatureSpec s;
+    s.kind = kind;
+    s.period = period;
+    return s;
+}
+
+/** Proxy config shorthand (single-spec attacker). */
+inline core::ProxyConfig
+proxyConfig(const std::string &algorithm, features::FeatureKind kind,
+            std::uint32_t period, std::uint64_t seed = 7)
+{
+    core::ProxyConfig config;
+    config.algorithm = algorithm;
+    config.specs = {spec(kind, period)};
+    config.seed = seed;
+    return config;
+}
+
+/** Window-level ROC of a detector over a program subset. */
+inline ml::RocCurve
+windowRoc(const core::Hmd &detector, const features::FeatureCorpus &corpus,
+          const std::vector<std::size_t> &program_idx)
+{
+    std::vector<const features::RawWindow *> windows;
+    std::vector<int> labels;
+    core::collectWindows(corpus, program_idx, detector.decisionPeriod(),
+                         windows, labels);
+    std::vector<double> scores;
+    scores.reserve(windows.size());
+    for (const auto *window : windows)
+        scores.push_back(detector.windowScore(*window));
+    return ml::rocCurve(scores, labels);
+}
+
+/** Print a figure banner. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n=== %s ===\n(reproduces %s)\n\n", title.c_str(),
+                paper_ref.c_str());
+}
+
+/**
+ * Print a results table and, when the RHMD_CSV_DIR environment
+ * variable names a directory, also write it there as
+ * "<bench>_tN.csv" for post-processing/plotting.
+ */
+inline void
+emitTable(const Table &table)
+{
+    table.print(std::cout);
+    const char *dir = std::getenv("RHMD_CSV_DIR");
+    if (dir == nullptr)
+        return;
+    static int counter = 0;
+    CsvWriter csv(table.headers());
+    for (const auto &row : table.data())
+        csv.addRow(row);
+    const std::string path = std::string(dir) + "/" +
+                             program_invocation_short_name + "_t" +
+                             std::to_string(counter++) + ".csv";
+    if (csv.write(path))
+        std::printf("[csv written to %s]\n", path.c_str());
+}
+
+} // namespace rhmd::bench
+
+#endif // RHMD_BENCH_BENCH_COMMON_HH

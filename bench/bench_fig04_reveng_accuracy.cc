@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 4: reverse-engineering efficiency at the matched
+ * configuration — agreement of LR/DT/NN attackers against (a) LR
+ * victims and (b) NN victims, for each feature family.
+ */
+
+#include "bench_common.hh"
+
+using namespace rhmd;
+using namespace rhmd::bench;
+
+int
+main()
+{
+    banner("Reverse-engineering efficiency",
+           "Fig. 4a (LR victims) and Fig. 4b (NN victims)");
+
+    const core::Experiment exp =
+        core::Experiment::build(standardConfig());
+    const char *attackers[] = {"LR", "DT", "NN"};
+
+    for (const char *victim_alg : {"LR", "NN"}) {
+        std::printf("\n(%s) %s victims\n",
+                    victim_alg[0] == 'L' ? "a" : "b", victim_alg);
+        Table table({"feature", "LR", "DT", "NN"});
+        for (auto kind : {features::FeatureKind::Instructions,
+                          features::FeatureKind::Memory,
+                          features::FeatureKind::Architectural}) {
+            const auto victim = exp.trainVictim(victim_alg, kind, 10000);
+            std::vector<std::string> row{
+                features::featureKindName(kind)};
+            for (const char *alg : attackers) {
+                const auto proxy = core::buildProxy(
+                    *victim, exp.corpus(), exp.split().attackerTrain,
+                    proxyConfig(alg, kind, 10000));
+                row.push_back(Table::percent(core::proxyAgreement(
+                    *victim, *proxy, exp.corpus(),
+                    exp.split().attackerTest)));
+            }
+            table.addRow(row);
+        }
+        emitTable(table);
+    }
+
+    std::printf("\nShape to match the paper: NN attackers "
+                "reverse-engineer both victim types with\nhigh "
+                "agreement; the linear LR attacker trails on the "
+                "non-linear NN victims.\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 8: detection under least-weight injection, driven by the
+ * reverse-engineered detector, for (a) LR and (b) NN victims. Four
+ * series per victim: {basic-block, function} x {scored by the
+ * victim, scored by the reversed detector}.
+ */
+
+#include "bench_common.hh"
+
+using namespace rhmd;
+using namespace rhmd::bench;
+
+namespace
+{
+
+double
+proxyDetectionRate(const core::Hmd &proxy,
+                   const std::vector<features::ProgramFeatures> &programs)
+{
+    std::size_t flagged = 0;
+    for (const auto &prog : programs) {
+        const auto &windows = prog.windows(proxy.decisionPeriod());
+        std::size_t hits = 0;
+        for (const auto &window : windows)
+            hits += proxy.windowDecision(window);
+        flagged += 2 * hits >= windows.size() ? 1 : 0;
+    }
+    return static_cast<double>(flagged) /
+           static_cast<double>(programs.size());
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Detection under least-weight injection",
+           "Fig. 8a (LR victim) and Fig. 8b (NN victim)");
+
+    const core::Experiment exp =
+        core::Experiment::build(standardConfig());
+
+    for (const char *victim_alg : {"LR", "NN"}) {
+        const auto victim = exp.trainVictim(
+            victim_alg, features::FeatureKind::Instructions, 10000);
+        // The attacker reverse-engineers the victim (NN proxy at the
+        // matched configuration) and derives injection opcodes from
+        // the proxy's weights, as in the paper's methodology.
+        const auto proxy = core::buildProxy(
+            *victim, exp.corpus(), exp.split().attackerTrain,
+            proxyConfig("NN", features::FeatureKind::Instructions,
+                        10000));
+
+        std::vector<std::size_t> detected;
+        for (std::size_t idx :
+             exp.malwareOf(exp.split().attackerTest)) {
+            if (victim->programDecision(exp.corpus().programs[idx]))
+                detected.push_back(idx);
+        }
+
+        std::printf("\n(%s) %s victim — least-weight opcode (from the "
+                    "reversed detector): %s\n",
+                    victim_alg[0] == 'L' ? "a" : "b", victim_alg,
+                    std::string(trace::opName(
+                        proxy->negativeWeightOpcodes().front().first))
+                        .c_str());
+        Table table({"injected", "block (victim)", "func (victim)",
+                     "block (reversed)", "func (reversed)"});
+        for (std::size_t count : {0, 1, 2, 3, 5, 10, 15}) {
+            std::vector<std::string> row{std::to_string(count)};
+            std::vector<std::string> reversed_cells;
+            for (auto level : {trace::InjectLevel::Block,
+                               trace::InjectLevel::Function}) {
+                core::EvasionPlan plan;
+                plan.strategy = core::EvasionStrategy::LeastWeight;
+                plan.level = level;
+                plan.count = count;
+                const auto modified =
+                    exp.extractEvasive(detected, plan, proxy.get());
+                row.push_back(Table::percent(
+                    core::Experiment::detectionRate(*victim,
+                                                    modified)));
+                reversed_cells.push_back(Table::percent(
+                    proxyDetectionRate(*proxy, modified)));
+            }
+            row.insert(row.end(), reversed_cells.begin(),
+                       reversed_cells.end());
+            table.addRow(row);
+        }
+        emitTable(table);
+    }
+
+    std::printf("\nShape to match the paper: block-level injection of "
+                "1-3 instructions collapses\ndetection by both the "
+                "victim and the reversed model; function-level needs "
+                "more;\nthe NN victim is slightly harder to evade "
+                "than LR.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 11: retraining with evasive malware in the training set —
+ * the sensitivity/specificity trade-off for (a) LR and (b) NN as the
+ * evasive share of the malware training set grows from 0% to 25%.
+ */
+
+#include "bench_common.hh"
+
+#include "core/retrainer.hh"
+
+using namespace rhmd;
+using namespace rhmd::bench;
+
+int
+main()
+{
+    banner("Effectiveness of retraining",
+           "Fig. 11a (logistic regression) and Fig. 11b (neural "
+           "network)");
+
+    core::ExperimentConfig config = standardConfig();
+    config.benignCount = 120;
+    config.malwareCount = 240;
+    const core::Experiment exp = core::Experiment::build(config);
+
+    for (const char *alg : {"LR", "NN"}) {
+        core::RetrainConfig retrain;
+        retrain.algorithm = alg;
+        const auto points = core::retrainSweep(exp, retrain);
+
+        std::printf("\n(%s) %s detector\n", alg[0] == 'L' ? "a" : "b",
+                    alg);
+        Table table({"evasive share", "sens (evasive)",
+                     "sens (unmodified)", "specificity"});
+        for (const core::RetrainPoint &point : points) {
+            table.addRow({Table::percent(point.evasiveFrac, 0),
+                          Table::percent(point.sensEvasive),
+                          Table::percent(point.sensUnmodified),
+                          Table::percent(point.specificity)});
+        }
+        emitTable(table);
+    }
+
+    std::printf("\nShape to match the paper: for LR, raising evasive "
+                "sensitivity costs sensitivity\non unmodified malware "
+                "(linear inseparability); NN detects both without "
+                "the\ntrade-off; specificity is stable for both.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 14: reverse-engineering the RHMD — agreement of LR/DT/SVM
+ * attackers (trying each base feature and the union of them) against
+ * randomized pools of (a) two and (b) three single-period base
+ * detectors.
+ */
+
+#include "bench_common.hh"
+
+using namespace rhmd;
+using namespace rhmd::bench;
+
+namespace
+{
+
+void
+attackPool(const core::Experiment &exp, core::Rhmd &pool,
+           const std::vector<features::FeatureKind> &attacker_feats)
+{
+    Table table({"attacker feature", "LR", "DT", "SVM"});
+    for (std::size_t f = 0; f <= attacker_feats.size(); ++f) {
+        const bool combined = f == attacker_feats.size();
+        std::vector<std::string> row{
+            combined ? "combined"
+                     : features::featureKindName(attacker_feats[f])};
+        for (const char *alg : {"LR", "DT", "SVM"}) {
+            core::ProxyConfig config;
+            config.algorithm = alg;
+            if (combined) {
+                for (features::FeatureKind kind : attacker_feats)
+                    config.specs.push_back(spec(kind, 10000));
+            } else {
+                config.specs = {spec(attacker_feats[f], 10000)};
+            }
+            const auto proxy = core::buildProxy(
+                pool, exp.corpus(), exp.split().attackerTrain, config);
+            row.push_back(Table::percent(core::proxyAgreement(
+                pool, *proxy, exp.corpus(),
+                exp.split().attackerTest)));
+        }
+        table.addRow(row);
+    }
+    emitTable(table);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Reverse-engineering the RHMD (feature diversity)",
+           "Fig. 14a (two-feature pool) and Fig. 14b (three-feature "
+           "pool)");
+
+    const core::Experiment exp =
+        core::Experiment::build(standardConfig());
+
+    {
+        std::printf("\n(a) pool: {instructions, memory} @ 10k, LR "
+                    "bases, uniform switching\n");
+        auto pool = core::buildRhmd(
+            "LR",
+            {spec(features::FeatureKind::Instructions, 10000),
+             spec(features::FeatureKind::Memory, 10000)},
+            exp.corpus(), exp.split().victimTrain, 16, 41);
+        attackPool(exp, *pool,
+                   {features::FeatureKind::Memory,
+                    features::FeatureKind::Instructions});
+    }
+    {
+        std::printf("\n(b) pool: {instructions, memory, architectural} "
+                    "@ 10k\n");
+        auto pool = core::buildRhmd(
+            "LR",
+            {spec(features::FeatureKind::Instructions, 10000),
+             spec(features::FeatureKind::Memory, 10000),
+             spec(features::FeatureKind::Architectural, 10000)},
+            exp.corpus(), exp.split().victimTrain, 16, 42);
+        attackPool(exp, *pool,
+                   {features::FeatureKind::Memory,
+                    features::FeatureKind::Instructions,
+                    features::FeatureKind::Architectural});
+    }
+
+    std::printf("\nShape to match the paper: agreement falls well "
+                "below the deterministic case\n(~99%%, see "
+                "bench_fig04) and falls further as the pool grows "
+                "from two to three\ndetectors; the combined-feature "
+                "attacker does not recover it.\n");
+    return 0;
+}

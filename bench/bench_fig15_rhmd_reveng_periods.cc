@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure 15: reverse-engineering the RHMD when the pool also
+ * randomizes the collection period (5k and 10k) — pools of (a) four
+ * (two features x two periods) and (b) six (three features x two
+ * periods) base detectors.
+ */
+
+#include "bench_common.hh"
+
+using namespace rhmd;
+using namespace rhmd::bench;
+
+namespace
+{
+
+void
+attackPool(const core::Experiment &exp, core::Rhmd &pool,
+           const std::vector<features::FeatureKind> &attacker_feats)
+{
+    Table table({"attacker feature", "LR", "DT", "SVM"});
+    for (std::size_t f = 0; f <= attacker_feats.size(); ++f) {
+        const bool combined = f == attacker_feats.size();
+        std::vector<std::string> row{
+            combined ? "combined"
+                     : features::featureKindName(attacker_feats[f])};
+        for (const char *alg : {"LR", "DT", "SVM"}) {
+            core::ProxyConfig config;
+            config.algorithm = alg;
+            if (combined) {
+                for (features::FeatureKind kind : attacker_feats)
+                    config.specs.push_back(spec(kind, 10000));
+            } else {
+                config.specs = {spec(attacker_feats[f], 10000)};
+            }
+            const auto proxy = core::buildProxy(
+                pool, exp.corpus(), exp.split().attackerTrain, config);
+            row.push_back(Table::percent(core::proxyAgreement(
+                pool, *proxy, exp.corpus(),
+                exp.split().attackerTest)));
+        }
+        table.addRow(row);
+    }
+    emitTable(table);
+}
+
+std::vector<features::FeatureSpec>
+crossSpecs(const std::vector<features::FeatureKind> &kinds)
+{
+    std::vector<features::FeatureSpec> specs;
+    for (std::uint32_t period : {10000u, 5000u})
+        for (features::FeatureKind kind : kinds)
+            specs.push_back(spec(kind, period));
+    return specs;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Reverse-engineering the RHMD (features and periods)",
+           "Fig. 15a (2 features x 2 periods) and Fig. 15b "
+           "(3 features x 2 periods)");
+
+    const core::Experiment exp =
+        core::Experiment::build(standardConfig());
+
+    {
+        std::printf("\n(a) pool of four: {instructions, memory} x "
+                    "{5k, 10k}\n");
+        auto pool = core::buildRhmd(
+            "LR",
+            crossSpecs({features::FeatureKind::Instructions,
+                        features::FeatureKind::Memory}),
+            exp.corpus(), exp.split().victimTrain, 16, 51);
+        attackPool(exp, *pool,
+                   {features::FeatureKind::Memory,
+                    features::FeatureKind::Instructions});
+    }
+    {
+        std::printf("\n(b) pool of six: {instructions, memory, "
+                    "architectural} x {5k, 10k}\n");
+        auto pool = core::buildRhmd(
+            "LR",
+            crossSpecs({features::FeatureKind::Instructions,
+                        features::FeatureKind::Memory,
+                        features::FeatureKind::Architectural}),
+            exp.corpus(), exp.split().victimTrain, 16, 52);
+        attackPool(exp, *pool,
+                   {features::FeatureKind::Memory,
+                    features::FeatureKind::Instructions,
+                    features::FeatureKind::Architectural});
+    }
+
+    std::printf("\nShape to match the paper: adding period diversity "
+                "on top of feature diversity\nmakes reverse-"
+                "engineering harder still (compare with "
+                "bench_fig14).\n");
+    return 0;
+}

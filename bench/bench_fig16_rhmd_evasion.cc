@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 16: RHMD evasion resilience — detection of least-weight
+ * evasive malware (crafted against the best reverse-engineered proxy
+ * of each pool) for the four pool configurations of the paper:
+ * two/three features, with and without period diversity.
+ */
+
+#include "bench_common.hh"
+
+using namespace rhmd;
+using namespace rhmd::bench;
+
+namespace
+{
+
+std::vector<features::FeatureSpec>
+poolSpecs(std::size_t n_features, bool two_periods)
+{
+    const features::FeatureKind kinds[] = {
+        features::FeatureKind::Instructions,
+        features::FeatureKind::Memory,
+        features::FeatureKind::Architectural};
+    std::vector<features::FeatureSpec> specs;
+    for (std::size_t f = 0; f < n_features; ++f)
+        specs.push_back(spec(kinds[f], 10000));
+    if (two_periods) {
+        for (std::size_t f = 0; f < n_features; ++f)
+            specs.push_back(spec(kinds[f], 5000));
+    }
+    return specs;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("RHMD evasion resilience",
+           "Fig. 16: detection of evasive malware vs injected "
+           "instructions");
+
+    const core::Experiment exp =
+        core::Experiment::build(standardConfig());
+    const auto test_mal = exp.malwareOf(exp.split().attackerTest);
+
+    struct PoolDef
+    {
+        const char *label;
+        std::size_t features;
+        bool periods;
+        std::uint64_t seed;
+    };
+    const PoolDef pools[] = {
+        {"two features", 2, false, 61},
+        {"three features", 3, false, 62},
+        {"two features with periods", 2, true, 63},
+        {"three features with periods", 3, true, 64},
+    };
+
+    Table table({"injected", "2 feats", "3 feats", "2 feats+periods",
+                 "3 feats+periods"});
+    const std::size_t counts[] = {0, 1, 5, 10};
+
+    std::vector<std::vector<std::string>> cells(
+        std::size(counts), std::vector<std::string>(5));
+    for (std::size_t c = 0; c < std::size(counts); ++c)
+        cells[c][0] = std::to_string(counts[c]);
+
+    for (std::size_t p = 0; p < std::size(pools); ++p) {
+        auto pool = core::buildRhmd(
+            "LR", poolSpecs(pools[p].features, pools[p].periods),
+            exp.corpus(), exp.split().victimTrain, 16, pools[p].seed);
+        // The attacker's best shot: an NN proxy on the Instructions
+        // family at 10k (the configuration an attacker sweeping
+        // Fig-3-style would find most predictive).
+        const auto proxy = core::buildProxy(
+            *pool, exp.corpus(), exp.split().attackerTrain,
+            proxyConfig("NN", features::FeatureKind::Instructions,
+                        10000));
+
+        for (std::size_t c = 0; c < std::size(counts); ++c) {
+            core::EvasionPlan plan;
+            plan.strategy = core::EvasionStrategy::LeastWeight;
+            plan.level = trace::InjectLevel::Block;
+            plan.count = counts[c];
+            const auto evasive =
+                exp.extractEvasive(test_mal, plan, proxy.get());
+            cells[c][p + 1] = Table::percent(
+                core::Experiment::detectionRate(*pool, evasive));
+        }
+    }
+    for (auto &row : cells)
+        table.addRow(row);
+    emitTable(table);
+
+    std::printf("\nShape to match the paper: detection does not "
+                "collapse the way it does against\na deterministic "
+                "detector (bench_fig08); more diversity gives a "
+                "flatter curve.\nThe zero-injection row is the "
+                "pool-average accuracy (the randomization cost).\n");
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Library micro-benchmarks (google-benchmark): throughput of the
+ * execution/monitoring substrate and latency of detector inference.
+ * These are the rates that determine whether the software model of
+ * an always-on HMD keeps up with trace generation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hh"
+#include "core/rhmd.hh"
+#include "features/extractor.hh"
+#include "trace/generator.hh"
+#include "uarch/cache.hh"
+
+namespace
+{
+
+using namespace rhmd;
+
+/** A sink that discards instructions (measures raw interpretation). */
+class NullSink : public trace::TraceSink
+{
+  public:
+    void consume(const trace::DynInst &inst) override
+    {
+        benchmark::DoNotOptimize(inst.pc);
+    }
+};
+
+const trace::Program &
+benchProgram()
+{
+    static const trace::Program program = [] {
+        trace::GeneratorConfig config;
+        config.benignCount = 1;
+        config.malwareCount = 0;
+        config.seed = 7;
+        return trace::ProgramGenerator(config).generateCorpus().front();
+    }();
+    return program;
+}
+
+const core::Experiment &
+benchExperiment()
+{
+    static const core::Experiment exp = [] {
+        core::ExperimentConfig config;
+        config.benignCount = 24;
+        config.malwareCount = 48;
+        config.periods = {5000, 10000};
+        config.traceInsts = 60000;
+        return core::Experiment::build(config);
+    }();
+    return exp;
+}
+
+void
+BM_ExecutorThroughput(benchmark::State &state)
+{
+    const trace::Program &program = benchProgram();
+    NullSink sink;
+    for (auto _ : state) {
+        trace::Executor exec(program, 1);
+        exec.run(static_cast<std::uint64_t>(state.range(0)), sink);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExecutorThroughput)->Arg(100000);
+
+void
+BM_FullExtractionThroughput(benchmark::State &state)
+{
+    const trace::Program &program = benchProgram();
+    for (auto _ : state) {
+        features::FeatureSession session({5000, 10000});
+        trace::Executor exec(program, 1);
+        exec.run(static_cast<std::uint64_t>(state.range(0)), session);
+        benchmark::DoNotOptimize(session.totalCycles());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullExtractionThroughput)->Arg(100000);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    uarch::Cache cache({32 * 1024, 8, 64});
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr, 8));
+        addr += 4096 + 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_LrWindowInference(benchmark::State &state)
+{
+    const core::Experiment &exp = benchExperiment();
+    static const auto victim = exp.trainVictim(
+        "LR", features::FeatureKind::Instructions, 10000);
+    const auto &window = exp.corpus().programs[0].windows(10000)[0];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(victim->windowScore(window));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LrWindowInference);
+
+void
+BM_NnWindowInference(benchmark::State &state)
+{
+    const core::Experiment &exp = benchExperiment();
+    static const auto victim = exp.trainVictim(
+        "NN", features::FeatureKind::Instructions, 10000);
+    const auto &window = exp.corpus().programs[0].windows(10000)[0];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(victim->windowScore(window));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NnWindowInference);
+
+void
+BM_RhmdProgramDecision(benchmark::State &state)
+{
+    const core::Experiment &exp = benchExperiment();
+    static const auto pool = [&] {
+        std::vector<features::FeatureSpec> specs;
+        for (auto kind : {features::FeatureKind::Instructions,
+                          features::FeatureKind::Memory,
+                          features::FeatureKind::Architectural}) {
+            features::FeatureSpec spec;
+            spec.kind = kind;
+            spec.period = 10000;
+            specs.push_back(spec);
+        }
+        return core::buildRhmd("LR", specs, exp.corpus(),
+                               exp.split().victimTrain, 16, 3);
+    }();
+    const auto &prog = exp.corpus().programs[0];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pool->programDecision(prog));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RhmdProgramDecision);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Section 8.3: evasion *without* reverse-engineering. If the
+ * attacker knows the exact configuration of every base detector, a
+ * static RHMD can be evaded by iteratively evading each detector —
+ * at proportionally higher overhead. The proposed mitigation is a
+ * non-stationary pool: a large candidate set of which a random
+ * subset is active at any time.
+ */
+
+#include "bench_common.hh"
+
+#include "support/stats.hh"
+#include "trace/injection.hh"
+
+using namespace rhmd;
+using namespace rhmd::bench;
+
+namespace
+{
+
+std::vector<features::FeatureSpec>
+specsFor(std::size_t n_kinds, std::uint32_t period)
+{
+    const features::FeatureKind kinds[] = {
+        features::FeatureKind::Instructions,
+        features::FeatureKind::Memory,
+        features::FeatureKind::Architectural};
+    std::vector<features::FeatureSpec> out;
+    for (std::size_t k = 0; k < n_kinds; ++k)
+        out.push_back(spec(kinds[k], period));
+    return out;
+}
+
+/** Train one detector per spec with per-pool seeds. */
+std::vector<std::unique_ptr<core::Hmd>>
+trainDetectors(const core::Experiment &exp,
+               const std::vector<features::FeatureSpec> &specs,
+               std::size_t top_k, std::uint64_t seed,
+               std::size_t pool_k = 0)
+{
+    std::vector<std::unique_ptr<core::Hmd>> out;
+    for (const auto &s : specs) {
+        core::HmdConfig config;
+        config.algorithm = "LR";
+        config.specs = {s};
+        config.opcodeTopK = top_k;
+        config.opcodePoolK = pool_k;
+        config.seed = ++seed;
+        auto det = std::make_unique<core::Hmd>(config);
+        det->trainOnPrograms(exp.corpus(), exp.split().victimTrain);
+        out.push_back(std::move(det));
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Evasion with known detector configurations",
+           "Sec. 8.3: iterative evasion of a static pool, and the "
+           "non-stationary mitigation");
+
+    const core::Experiment exp =
+        core::Experiment::build(standardConfig());
+    const auto test_mal = exp.malwareOf(exp.split().attackerTest);
+
+    // The deployed static pool: three feature detectors at 10k.
+    auto static_dets = trainDetectors(exp, specsFor(3, 10000), 16, 100);
+    std::vector<const core::Hmd *> known;
+    for (const auto &det : static_dets)
+        known.push_back(det.get());
+    core::Rhmd static_pool(std::move(static_dets), {}, 111);
+
+    // The mitigation: a candidate set whose members watch
+    // *different feature subsets* (random-subspace Instructions
+    // detectors), so no single payload is benign-ward for all of
+    // them — "a large set of candidate features and periods, of
+    // which a random subset is used at any given time". Three
+    // active at a time, rotating every four epochs.
+    std::vector<features::FeatureSpec> inst_specs;
+    for (int i = 0; i < 3; ++i)
+        inst_specs.push_back(
+            spec(features::FeatureKind::Instructions, 10000));
+    auto candidates =
+        trainDetectors(exp, inst_specs, 10, 200, trace::kNumOpClasses);
+    for (auto &det : trainDetectors(
+             exp,
+             {spec(features::FeatureKind::Instructions, 5000),
+              spec(features::FeatureKind::Instructions, 5000),
+              spec(features::FeatureKind::Instructions, 5000)},
+             10, 300, trace::kNumOpClasses))
+        candidates.push_back(std::move(det));
+    for (auto &det : trainDetectors(
+             exp,
+             {spec(features::FeatureKind::Memory, 10000),
+              spec(features::FeatureKind::Memory, 5000),
+              spec(features::FeatureKind::Architectural, 10000),
+              spec(features::FeatureKind::Architectural, 5000)},
+             16, 400))
+        candidates.push_back(std::move(det));
+    std::vector<const core::Hmd *> all_candidates;
+    for (const auto &det : candidates)
+        all_candidates.push_back(det.get());
+    core::RotatingRhmd rotating(std::move(candidates), 3, 4, 222);
+
+    Table table({"attack (k=3 per detector)", "static pool",
+                 "rotating pool", "dynamic overhead"});
+
+    // Attack 0: no injection.
+    {
+        double oh = 0.0;
+        std::size_t s_hit = 0;
+        std::size_t r_hit = 0;
+        for (std::size_t idx : test_mal) {
+            s_hit += static_pool.programDecision(
+                exp.corpus().programs[idx]);
+            r_hit += rotating.programDecision(
+                exp.corpus().programs[idx]);
+        }
+        table.addRow({"none",
+                      Table::percent(double(s_hit) / test_mal.size()),
+                      Table::percent(double(r_hit) / test_mal.size()),
+                      Table::percent(oh)});
+    }
+
+    // Attack 1: evade exactly the three known static detectors.
+    // Attack 2: evade all twelve candidates (the attacker hedges).
+    struct Attack
+    {
+        const char *label;
+        const std::vector<const core::Hmd *> *models;
+    };
+    for (const Attack &attack :
+         {Attack{"evade the 3 known detectors", &known},
+          Attack{"evade all 10 candidates", &all_candidates}}) {
+        std::size_t s_hit = 0;
+        std::size_t r_hit = 0;
+        RunningStats overhead;
+        for (std::size_t idx : test_mal) {
+            const trace::Program rewritten = core::evadeAllDetectors(
+                exp.programs()[idx], *attack.models,
+                trace::InjectLevel::Block, 3);
+            const auto feats = features::extractProgram(
+                rewritten, exp.extractConfig());
+            s_hit += static_pool.programDecision(feats);
+            r_hit += rotating.programDecision(feats);
+            overhead.add(
+                trace::dynamicOverhead(rewritten, 50000, 5));
+        }
+        table.addRow({attack.label,
+                      Table::percent(double(s_hit) / test_mal.size()),
+                      Table::percent(double(r_hit) / test_mal.size()),
+                      Table::percent(overhead.mean())});
+    }
+    emitTable(table);
+
+    std::printf("\nExpected shape: knowing the static pool's exact "
+                "configuration lets the attacker\nevade it (paper: "
+                "\"we verified that it is possible\"), at a high "
+                "overhead. The\nrotating subspace pool recovers part "
+                "of the detection and forces the attacker\nto pay "
+                "several times the overhead to hedge across every "
+                "candidate.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: build a corpus, train a hardware malware detector,
+ * evaluate it, and serialize the model — the five-minute tour of the
+ * library's public API.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/experiment.hh"
+#include "ml/serialize.hh"
+#include "support/table.hh"
+
+using namespace rhmd;
+
+int
+main()
+{
+    // 1. Build an experiment: synthetic benign + malware programs,
+    //    executed through the microarchitectural model, features
+    //    extracted per 10K-instruction collection window, and split
+    //    60/20/20 into victim-train / attacker-train / attacker-test.
+    core::ExperimentConfig config;
+    config.benignCount = 60;
+    config.malwareCount = 120;
+    config.periods = {10000};
+    config.traceInsts = 100000;
+    const core::Experiment exp = core::Experiment::build(config);
+    std::printf("corpus: %zu programs (%zu malware), %zu-way split\n",
+                exp.corpus().programs.size(),
+                exp.corpus().malwareCount(),
+                exp.split().victimTrain.size());
+
+    // 2. Train a detector: logistic regression over the Instructions
+    //    feature family (top-16 delta opcode frequencies).
+    const auto detector = exp.trainVictim(
+        "LR", features::FeatureKind::Instructions, 10000);
+    std::printf("trained %s, threshold %.3f\n",
+                detector->describe().c_str(), detector->threshold());
+
+    // 3. Evaluate on held-out programs.
+    const auto test_mal = exp.malwareOf(exp.split().attackerTest);
+    const auto test_ben = exp.benignOf(exp.split().attackerTest);
+    std::printf("sensitivity %.1f%%   false-positive rate %.1f%%\n",
+                100.0 * exp.detectionRateOn(*detector, test_mal),
+                100.0 * exp.detectionRateOn(*detector, test_ben));
+
+    // 4. Classify one program the way deployed hardware would:
+    //    a decision per collection window, majority vote overall.
+    const auto &sample = exp.corpus().programs[test_mal.front()];
+    const std::vector<int> decisions = detector->decide(sample);
+    std::printf("program '%s': %zu window decisions, verdict %s\n",
+                sample.name.c_str(), decisions.size(),
+                detector->programDecision(sample) ? "MALWARE"
+                                                  : "benign");
+
+    // 5. Serialize the trained model (what a deployment would flash
+    //    into the detector's weight SRAM) and load it back.
+    std::stringstream stream;
+    ml::saveModel(detector->classifier(), stream);
+    const auto restored = ml::loadModel(stream);
+    std::printf("model round-trip OK (algorithm %s)\n",
+                restored->name().c_str());
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The defender's playbook (paper Secs. 7-8): deploy a resilient HMD
+ * — a pool of diverse base detectors switched stochastically — and
+ * check its accuracy, its resistance to reverse-engineering and
+ * evasion, its theoretical (Theorem 1) guarantees, and its hardware
+ * cost.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/hardware_model.hh"
+#include "core/pac.hh"
+#include "core/reverse_engineer.hh"
+#include "core/rhmd.hh"
+
+using namespace rhmd;
+
+int
+main()
+{
+    core::ExperimentConfig config;
+    config.benignCount = 90;
+    config.malwareCount = 180;
+    config.periods = {5000, 10000};
+    config.traceInsts = 100000;
+    const core::Experiment exp = core::Experiment::build(config);
+
+    // Six base detectors: three feature families x two collection
+    // periods, all low-complexity LR (the paper's recommendation:
+    // randomize cheap diverse detectors rather than deploying one
+    // expensive one).
+    std::vector<features::FeatureSpec> specs;
+    for (std::uint32_t period : {10000u, 5000u}) {
+        for (auto kind : {features::FeatureKind::Instructions,
+                          features::FeatureKind::Memory,
+                          features::FeatureKind::Architectural}) {
+            features::FeatureSpec spec;
+            spec.kind = kind;
+            spec.period = period;
+            specs.push_back(spec);
+        }
+    }
+    auto pool = core::buildRhmd("LR", specs, exp.corpus(),
+                                exp.split().victimTrain, 16, 2017);
+    std::printf("deployed RHMD with %zu base detectors, epoch %u "
+                "instructions:\n",
+                pool->poolSize(), pool->decisionPeriod());
+    for (const auto &det : pool->detectors())
+        std::printf("  %s\n", det->describe().c_str());
+
+    // Accuracy under no attack.
+    const auto test_mal = exp.malwareOf(exp.split().attackerTest);
+    const auto test_ben = exp.benignOf(exp.split().attackerTest);
+    std::printf("\nbaseline: sensitivity %.1f%%, false positives "
+                "%.1f%%\n",
+                100.0 * exp.detectionRateOn(*pool, test_mal),
+                100.0 * exp.detectionRateOn(*pool, test_ben));
+
+    // An attacker's best effort against the pool.
+    core::ProxyConfig proxy_config;
+    proxy_config.algorithm = "NN";
+    features::FeatureSpec hyp;
+    hyp.kind = features::FeatureKind::Instructions;
+    hyp.period = 10000;
+    proxy_config.specs = {hyp};
+    const auto proxy = core::buildProxy(
+        *pool, exp.corpus(), exp.split().attackerTrain, proxy_config);
+    std::printf("attacker's reverse-engineering agreement: %.1f%%\n",
+                100.0 * core::proxyAgreement(*pool, *proxy,
+                                             exp.corpus(),
+                                             exp.split().attackerTest));
+
+    core::EvasionPlan plan;
+    plan.strategy = core::EvasionStrategy::LeastWeight;
+    plan.count = 5;
+    const auto evasive =
+        exp.extractEvasive(test_mal, plan, proxy.get());
+    std::printf("detection of the attacker's evasive malware: "
+                "%.1f%%\n",
+                100.0 * core::Experiment::detectionRate(*pool,
+                                                        evasive));
+
+    // Theorem-1 guarantees.
+    const core::PacReport report =
+        core::computePac(*pool, exp.corpus(), exp.split().attackerTest);
+    std::printf("\nTheorem 1: attacker error is at least %.1f%% "
+                "(weighted pool disagreement);\nbaseline pool error "
+                "%.1f%%, upper bound %.1f%%\n",
+                100.0 * report.lowerBound,
+                100.0 * report.baselinePoolError,
+                100.0 * report.upperBound);
+
+    // What the hardware costs (cf. the paper's FPGA prototype).
+    const core::HwEstimate hw = core::estimateHardware(specs, "LR");
+    std::printf("\nhardware estimate: %.0f logic elements, %.0f "
+                "weight-SRAM bits,\n+%.2f%% core area, +%.2f%% core "
+                "power\n",
+                hw.logicElements, hw.sramBits, hw.areaOverheadPct,
+                hw.powerOverheadPct);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The arms race (paper Sec. 6): retrain a detector as evasive
+ * malware appears, watch the attacker re-reverse-engineer and
+ * re-evade it, and see why retraining alone is not a durable
+ * defense.
+ */
+
+#include <cstdio>
+
+#include "core/retrainer.hh"
+
+using namespace rhmd;
+
+int
+main()
+{
+    core::ExperimentConfig config;
+    config.benignCount = 72;
+    config.malwareCount = 144;
+    config.periods = {10000};
+    config.traceInsts = 80000;
+    const core::Experiment exp = core::Experiment::build(config);
+
+    // Part 1 — mixing evasive samples into LR's training data trades
+    // away sensitivity on unmodified malware (Fig. 11a's lesson).
+    core::RetrainConfig retrain;
+    retrain.algorithm = "LR";
+    retrain.fractions = {0.0, 0.10, 0.25};
+    std::printf("retraining the linear detector:\n");
+    std::printf("%-10s %-16s %-18s %-12s\n", "evasive%",
+                "sens(evasive)", "sens(unmodified)", "specificity");
+    for (const auto &point : core::retrainSweep(exp, retrain)) {
+        std::printf("%-10.0f %-16.1f %-18.1f %-12.1f\n",
+                    100.0 * point.evasiveFrac,
+                    100.0 * point.sensEvasive,
+                    100.0 * point.sensUnmodified,
+                    100.0 * point.specificity);
+    }
+
+    // Part 2 — the NN detector retrains successfully, but each
+    // generation is reverse-engineered and evaded again (Fig. 13).
+    core::GameConfig game;
+    game.algorithm = "NN";
+    game.generations = 4;
+    std::printf("\nthe evade-retrain game (NN):\n");
+    std::printf("%-4s %-12s %-18s %-18s %-18s\n", "gen", "specificity",
+                "sens(unmodified)", "sens(current gen)",
+                "sens(previous gen)");
+    for (const auto &point : core::evadeRetrainGame(exp, game)) {
+        std::printf("%-4d %-12.1f %-18.1f %-18.1f ",
+                    point.generation, 100.0 * point.specificity,
+                    100.0 * point.sensUnmodified,
+                    100.0 * point.sensCurrentGen);
+        if (point.sensPreviousGen < 0.0)
+            std::printf("%-18s\n", "-");
+        else
+            std::printf("%-18.1f\n", 100.0 * point.sensPreviousGen);
+    }
+    std::printf("\nEach generation catches the last generation's "
+                "evasive malware but is evaded\nafresh — the reason "
+                "the paper moves to randomized (resilient) "
+                "detection;\nsee examples/resilient_deployment.\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic ensemble implementation.
+ */
+
+#include "core/ensemble.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace rhmd::core
+{
+
+EnsembleHmd::EnsembleHmd(std::vector<std::unique_ptr<Hmd>> detectors)
+    : detectors_(std::move(detectors))
+{
+    fatal_if(detectors_.empty(), "ensemble needs at least one detector");
+    for (const auto &det : detectors_) {
+        fatal_if(det == nullptr, "ensemble received a null detector");
+        fatal_if(!det->trained(),
+                 "ensemble detectors must be trained before combining");
+    }
+    epoch_ = 0;
+    for (const auto &det : detectors_)
+        epoch_ = std::max(epoch_, det->decisionPeriod());
+    for (const auto &det : detectors_) {
+        fatal_if(epoch_ % det->decisionPeriod() != 0,
+                 "base period ", det->decisionPeriod(),
+                 " does not divide the epoch length ", epoch_);
+    }
+}
+
+std::uint32_t
+EnsembleHmd::decisionPeriod() const
+{
+    return epoch_;
+}
+
+std::vector<int>
+EnsembleHmd::decide(const features::ProgramFeatures &prog)
+{
+    const std::size_t n_epochs = prog.windows(epoch_).size();
+    std::vector<int> decisions;
+    decisions.reserve(n_epochs);
+    for (std::size_t e = 0; e < n_epochs; ++e) {
+        std::size_t votes = 0;
+        for (const auto &det : detectors_) {
+            const std::uint32_t period = det->decisionPeriod();
+            const std::size_t index = e * (epoch_ / period);
+            votes += det->windowDecision(prog.windows(period)[index]);
+        }
+        decisions.push_back(2 * votes >= detectors_.size() ? 1 : 0);
+    }
+    return decisions;
+}
+
+std::unique_ptr<EnsembleHmd>
+buildEnsemble(const std::string &algorithm,
+              const std::vector<features::FeatureSpec> &specs,
+              const features::FeatureCorpus &corpus,
+              const std::vector<std::size_t> &train_idx,
+              std::size_t opcode_top_k, std::uint64_t seed)
+{
+    fatal_if(specs.empty(), "buildEnsemble needs at least one spec");
+    std::vector<std::unique_ptr<Hmd>> pool;
+    pool.reserve(specs.size());
+    std::uint64_t det_seed = seed;
+    for (const features::FeatureSpec &spec : specs) {
+        HmdConfig config;
+        config.algorithm = algorithm;
+        config.specs = {spec};
+        config.opcodeTopK = opcode_top_k;
+        config.seed = ++det_seed;
+        auto det = std::make_unique<Hmd>(config);
+        det->trainOnPrograms(corpus, train_idx);
+        pool.push_back(std::move(det));
+    }
+    return std::make_unique<EnsembleHmd>(std::move(pool));
+}
+
+} // namespace rhmd::core

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Evasion rewriting implementation.
+ */
+
+#include "core/evasion.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "uarch/perf_counters.hh"
+
+namespace rhmd::core
+{
+
+const char *
+evasionStrategyName(EvasionStrategy strategy)
+{
+    switch (strategy) {
+      case EvasionStrategy::Random:
+        return "random";
+      case EvasionStrategy::LeastWeight:
+        return "least_weight";
+      case EvasionStrategy::Weighted:
+        return "weighted";
+    }
+    rhmd_panic("bad evasion strategy");
+}
+
+namespace
+{
+
+/** Opcode that drives an architectural event, or Nop when none can. */
+trace::OpClass
+eventDriverOpcode(uarch::Event event)
+{
+    switch (event) {
+      case uarch::Event::Loads:
+        return trace::OpClass::Load;
+      case uarch::Event::Stores:
+        return trace::OpClass::Store;
+      case uarch::Event::Syscalls:
+        return trace::OpClass::SystemOp;
+      case uarch::Event::Atomics:
+        return trace::OpClass::Xchg;
+      default:
+        // Branch/cache/alignment events cannot be driven by a
+        // semantics-free straight-line payload; dilute instead.
+        return trace::OpClass::Nop;
+    }
+}
+
+} // namespace
+
+std::vector<trace::StaticInst>
+modelPayload(const Hmd &model, std::size_t count)
+{
+    fatal_if(!model.trained(), "modelPayload needs a trained model");
+    fatal_if(model.specs().size() != 1,
+             "modelPayload targets single-spec detectors");
+    const features::FeatureSpec &spec = model.specs().front();
+
+    switch (spec.kind) {
+      case features::FeatureKind::Instructions: {
+        const trace::OpClass op =
+            model.negativeWeightOpcodes().front().first;
+        return std::vector<trace::StaticInst>(
+            count, trace::makePayloadInst(op));
+      }
+      case features::FeatureKind::Memory: {
+        // Most benign-weighted delta bin -> loads at that distance.
+        const std::vector<double> weights = model.effectiveRawWeights();
+        std::size_t best_bin = 0;
+        for (std::size_t b = 1; b < weights.size(); ++b) {
+            if (weights[b] < weights[best_bin])
+                best_bin = b;
+        }
+        const std::int32_t stride = best_bin == 0
+            ? 64  // bin 0 is delta-0; nearest injectable behaviour
+            : static_cast<std::int32_t>(1U << std::min<std::size_t>(
+                  best_bin - 1, 20));
+        return std::vector<trace::StaticInst>(
+            count, trace::makePayloadInst(trace::OpClass::Load,
+                                          std::max(stride, 1)));
+      }
+      case features::FeatureKind::Architectural: {
+        const std::vector<double> weights = model.effectiveRawWeights();
+        std::size_t best_event = 0;
+        for (std::size_t e = 1; e < weights.size(); ++e) {
+            if (weights[e] < weights[best_event])
+                best_event = e;
+        }
+        const trace::OpClass op =
+            eventDriverOpcode(static_cast<uarch::Event>(best_event));
+        return std::vector<trace::StaticInst>(
+            count, trace::makePayloadInst(op));
+      }
+    }
+    rhmd_panic("bad feature kind");
+}
+
+trace::Program
+evadeAllDetectors(const trace::Program &malware,
+                  const std::vector<const Hmd *> &models,
+                  trace::InjectLevel level, std::size_t count_per_model)
+{
+    fatal_if(models.empty(), "evadeAllDetectors needs models");
+    if (count_per_model == 0)
+        return malware;
+    std::vector<trace::StaticInst> payload;
+    payload.reserve(models.size() * count_per_model);
+    for (const Hmd *model : models) {
+        fatal_if(model == nullptr, "null model");
+        const auto part = modelPayload(*model, count_per_model);
+        payload.insert(payload.end(), part.begin(), part.end());
+    }
+    return trace::Injector::apply(malware, level, payload);
+}
+
+trace::Program
+evadeRewrite(const trace::Program &malware, const EvasionPlan &plan,
+             const Hmd *model)
+{
+    if (plan.count == 0)
+        return malware;
+
+    switch (plan.strategy) {
+      case EvasionStrategy::Random:
+        return trace::Injector::applyRandom(malware, plan.level,
+                                            plan.count,
+                                            plan.seed ^ malware.seed);
+      case EvasionStrategy::LeastWeight: {
+        fatal_if(model == nullptr,
+                 "least-weight evasion needs a detector model");
+        const auto candidates = model->negativeWeightOpcodes();
+        // candidates are sorted by descending |weight|; the paper's
+        // strategy injects only "the instruction with the least
+        // weight in the vector".
+        const trace::OpClass op = candidates.front().first;
+        std::vector<trace::StaticInst> payload(
+            plan.count, trace::makePayloadInst(op));
+        return trace::Injector::apply(malware, plan.level, payload);
+      }
+      case EvasionStrategy::Weighted: {
+        fatal_if(model == nullptr,
+                 "weighted evasion needs a detector model");
+        return trace::Injector::applyWeighted(
+            malware, plan.level, plan.count,
+            model->negativeWeightOpcodes(), plan.seed ^ malware.seed);
+      }
+    }
+    rhmd_panic("bad evasion strategy");
+}
+
+} // namespace rhmd::core

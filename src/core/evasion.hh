@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Model-driven malware rewriting (paper Sec. 5): choose injection
+ * opcodes from a (reverse-engineered or white-box) detector model
+ * and rewrite malware so its windows cross the decision boundary.
+ */
+
+#ifndef RHMD_CORE_EVASION_HH
+#define RHMD_CORE_EVASION_HH
+
+#include <cstdint>
+
+#include "core/hmd.hh"
+#include "trace/injection.hh"
+
+namespace rhmd::core
+{
+
+/** The paper's three injection strategies. */
+enum class EvasionStrategy : std::uint8_t
+{
+    Random,      ///< uniform opcodes (Fig. 6 control experiment)
+    LeastWeight, ///< N copies of the most negative-weight opcode
+    Weighted,    ///< draws proportional to |negative weight| (Fig. 10)
+};
+
+/** Name for tables. */
+const char *evasionStrategyName(EvasionStrategy strategy);
+
+/** One evasion attempt's parameters. */
+struct EvasionPlan
+{
+    EvasionStrategy strategy = EvasionStrategy::LeastWeight;
+    trace::InjectLevel level = trace::InjectLevel::Block;
+    std::size_t count = 1;   ///< instructions injected per site
+    std::uint64_t seed = 99; ///< randomness for Random/Weighted draws
+};
+
+/**
+ * Rewrite one malware program according to the plan. @p model guides
+ * the LeastWeight and Weighted strategies (it is ignored — and may
+ * be null — for Random). count == 0 returns an unmodified copy.
+ */
+trace::Program evadeRewrite(const trace::Program &malware,
+                            const EvasionPlan &plan, const Hmd *model);
+
+/**
+ * Feature-appropriate payload against one detector model (@p count
+ * instructions): Instructions detectors get their least-weight
+ * opcode; Memory detectors get loads whose reference distance
+ * targets the most benign-weighted delta bin (the paper's
+ * "insertion of load and store instructions with controlled
+ * distances"); Architectural detectors get the opcode driving their
+ * most benign-weighted event (an approximation — the paper notes
+ * architectural effects "may not be directly controllable").
+ */
+std::vector<trace::StaticInst> modelPayload(const Hmd &model,
+                                            std::size_t count);
+
+/**
+ * The Sec. 8.3 known-configuration attack: the attacker knows every
+ * base detector of the pool and iteratively evades each, i.e. the
+ * payloads against all models are concatenated at every injection
+ * site. Succeeds against a *static* pool at proportionally higher
+ * overhead.
+ */
+trace::Program evadeAllDetectors(const trace::Program &malware,
+                                 const std::vector<const Hmd *> &models,
+                                 trace::InjectLevel level,
+                                 std::size_t count_per_model);
+
+} // namespace rhmd::core
+
+#endif // RHMD_CORE_EVASION_HH

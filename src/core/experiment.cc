@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Experiment pipeline implementation.
+ */
+
+#include "core/experiment.hh"
+
+#include "support/logging.hh"
+
+namespace rhmd::core
+{
+
+Experiment
+Experiment::build(const ExperimentConfig &config)
+{
+    Experiment exp;
+    exp.config_ = config;
+
+    trace::GeneratorConfig gen;
+    gen.seed = config.seed;
+    gen.benignCount = config.benignCount;
+    gen.malwareCount = config.malwareCount;
+    gen.commonBlend = config.commonBlend;
+    gen.hardBlend = config.hardBlend;
+    gen.hardFrac = config.hardFrac;
+    const trace::ProgramGenerator generator(gen);
+    exp.programs_ = generator.generateCorpus();
+
+    exp.extract_.periods = config.periods;
+    exp.extract_.traceInsts = config.traceInsts;
+    exp.corpus_ = features::extractCorpus(exp.programs_, exp.extract_);
+
+    exp.split_ = features::stratifiedSplit(exp.corpus_,
+                                           config.seed ^ 0x5117ULL);
+    return exp;
+}
+
+std::vector<std::size_t>
+Experiment::malwareOf(const std::vector<std::size_t> &idx) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i : idx) {
+        if (corpus_.programs[i].malware)
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+Experiment::benignOf(const std::vector<std::size_t> &idx) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i : idx) {
+        if (!corpus_.programs[i].malware)
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::unique_ptr<Hmd>
+Experiment::trainVictim(const std::string &algorithm,
+                        features::FeatureKind kind, std::uint32_t period,
+                        std::uint64_t seed) const
+{
+    HmdConfig hmd_config;
+    hmd_config.algorithm = algorithm;
+    features::FeatureSpec spec;
+    spec.kind = kind;
+    spec.period = period;
+    hmd_config.specs = {spec};
+    hmd_config.opcodeTopK = config_.opcodeTopK;
+    hmd_config.seed = seed;
+
+    auto victim = std::make_unique<Hmd>(hmd_config);
+    victim->trainOnPrograms(corpus_, split_.victimTrain);
+    return victim;
+}
+
+std::vector<features::ProgramFeatures>
+Experiment::extractEvasive(const std::vector<std::size_t> &program_idx,
+                           const EvasionPlan &plan, const Hmd *model) const
+{
+    std::vector<features::ProgramFeatures> out;
+    out.reserve(program_idx.size());
+    for (std::size_t idx : program_idx) {
+        panic_if(idx >= programs_.size(), "program index out of range");
+        const trace::Program rewritten =
+            evadeRewrite(programs_[idx], plan, model);
+        out.push_back(features::extractProgram(rewritten, extract_));
+    }
+    return out;
+}
+
+double
+Experiment::detectionRate(
+    Detector &detector,
+    const std::vector<features::ProgramFeatures> &programs)
+{
+    fatal_if(programs.empty(), "detection rate over an empty set");
+    std::size_t flagged = 0;
+    for (const features::ProgramFeatures &prog : programs)
+        flagged += detector.programDecision(prog);
+    return static_cast<double>(flagged) /
+           static_cast<double>(programs.size());
+}
+
+double
+Experiment::detectionRateOn(Detector &detector,
+                            const std::vector<std::size_t> &idx) const
+{
+    fatal_if(idx.empty(), "detection rate over an empty set");
+    std::size_t flagged = 0;
+    for (std::size_t i : idx)
+        flagged += detector.programDecision(corpus_.programs[i]);
+    return static_cast<double>(flagged) /
+           static_cast<double>(idx.size());
+}
+
+} // namespace rhmd::core

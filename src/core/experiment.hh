@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The shared experiment pipeline: builds a program corpus, extracts
+ * feature windows, forms the paper's 60/20/20 split, and provides
+ * the helpers every benchmark harness uses (victim training, evasive
+ * re-extraction, program-level detection rates).
+ */
+
+#ifndef RHMD_CORE_EXPERIMENT_HH
+#define RHMD_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evasion.hh"
+#include "core/hmd.hh"
+#include "features/corpus.hh"
+#include "trace/generator.hh"
+
+namespace rhmd::core
+{
+
+/** End-to-end experiment parameters. */
+struct ExperimentConfig
+{
+    std::uint64_t seed = 2017;
+    std::size_t benignCount = 180;
+    std::size_t malwareCount = 360;
+    /// @see trace::GeneratorConfig for the bimodal-hardness model.
+    double commonBlend = 0.05;
+    double hardBlend = 0.55;
+    double hardFrac = 0.22;
+
+    std::vector<std::uint32_t> periods{5000, 10000};
+    std::uint64_t traceInsts = 120000;
+
+    std::size_t opcodeTopK = 16;
+};
+
+/**
+ * A fully-built experiment: the programs (kept so evasion can
+ * rewrite them), their extracted features, and the data split.
+ */
+class Experiment
+{
+  public:
+    /** Generate programs, execute, extract, split. */
+    static Experiment build(const ExperimentConfig &config);
+
+    const ExperimentConfig &config() const { return config_; }
+    const std::vector<trace::Program> &programs() const
+    {
+        return programs_;
+    }
+    const features::FeatureCorpus &corpus() const { return corpus_; }
+    const features::SplitIndices &split() const { return split_; }
+
+    /** Extraction configuration used (for re-extraction). */
+    const features::ExtractConfig &extractConfig() const
+    {
+        return extract_;
+    }
+
+    /** Subset of @p idx that is malware (resp. benign). */
+    std::vector<std::size_t>
+    malwareOf(const std::vector<std::size_t> &idx) const;
+    std::vector<std::size_t>
+    benignOf(const std::vector<std::size_t> &idx) const;
+
+    /**
+     * Train a single victim detector on the victim training set with
+     * ground-truth labels.
+     */
+    std::unique_ptr<Hmd> trainVictim(const std::string &algorithm,
+                                     features::FeatureKind kind,
+                                     std::uint32_t period,
+                                     std::uint64_t seed = 11) const;
+
+    /**
+     * Rewrite the given malware programs per the evasion plan and
+     * re-extract their features (same execution salt, so behavioural
+     * differences come only from the injected code).
+     *
+     * @return one ProgramFeatures per input index, in order.
+     */
+    std::vector<features::ProgramFeatures>
+    extractEvasive(const std::vector<std::size_t> &program_idx,
+                   const EvasionPlan &plan, const Hmd *model) const;
+
+    /**
+     * Program-level detection rate of @p detector over the given
+     * extracted programs.
+     */
+    static double
+    detectionRate(Detector &detector,
+                  const std::vector<features::ProgramFeatures> &programs);
+
+    /** Detection rate over corpus members selected by index. */
+    double detectionRateOn(Detector &detector,
+                           const std::vector<std::size_t> &idx) const;
+
+  private:
+    ExperimentConfig config_;
+    features::ExtractConfig extract_;
+    std::vector<trace::Program> programs_;
+    features::FeatureCorpus corpus_;
+    features::SplitIndices split_;
+};
+
+} // namespace rhmd::core
+
+#endif // RHMD_CORE_EXPERIMENT_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Hardware cost model implementation.
+ */
+
+#include "core/hardware_model.hh"
+
+#include <set>
+
+#include "support/logging.hh"
+
+namespace rhmd::core
+{
+
+HwEstimate
+estimateHardware(const std::vector<features::FeatureSpec> &specs,
+                 const std::string &algorithm,
+                 const CoreBaseline &baseline, const DatapathCosts &costs)
+{
+    fatal_if(specs.empty(), "hardware estimate needs at least one spec");
+    fatal_if(algorithm != "LR" && algorithm != "NN",
+             "hardware model covers LR and NN datapaths, not '",
+             algorithm, "'");
+
+    // Distinct feature kinds need collection units; periods share
+    // them (the paper: "the collection logic and the detector
+    // evaluation logic is shared").
+    std::set<features::FeatureKind> kinds;
+    for (const features::FeatureSpec &spec : specs)
+        kinds.insert(spec.kind);
+
+    HwEstimate out;
+    for (features::FeatureKind kind : kinds) {
+        switch (kind) {
+          case features::FeatureKind::Instructions:
+            out.logicElements += costs.instructionsUnitLes;
+            break;
+          case features::FeatureKind::Memory:
+            out.logicElements += costs.memoryUnitLes;
+            break;
+          case features::FeatureKind::Architectural:
+            out.logicElements += costs.architecturalUnitLes;
+            break;
+        }
+    }
+
+    // One shared MAC evaluation unit plus the control FSM.
+    out.logicElements += costs.macUnitLes + costs.controlLes;
+
+    // One weight set per base detector (feature x period); weights
+    // live in SRAM, addressing costs a few LEs per extra set.
+    for (const features::FeatureSpec &spec : specs) {
+        const auto dim = static_cast<double>(
+            spec.kind == features::FeatureKind::Instructions &&
+                    spec.opcodeSel.empty()
+                ? 16  // default selection width
+                : spec.dim());
+        double weights = dim + 1.0;  // + bias
+        if (algorithm == "NN") {
+            // hidden = dim neurons: dim*dim + dim hidden weights,
+            // dim + 1 output weights.
+            weights = dim * dim + 2.0 * dim + 1.0;
+        }
+        out.sramBits += weights * costs.weightBitsPerFeature;
+        out.logicElements += costs.perWeightSetLes;
+        if (algorithm == "NN")
+            out.logicElements +=
+                costs.nnExtraLesPerDetector /
+                static_cast<double>(specs.size());
+    }
+
+    out.powerMw = out.logicElements * baseline.powerPerLeMw +
+                  (out.sramBits / 1024.0) * baseline.powerPerSramKbitMw;
+    out.areaOverheadPct =
+        100.0 * out.logicElements / baseline.coreLogicElements;
+    out.powerOverheadPct = 100.0 * out.powerMw / baseline.corePowerMw;
+    return out;
+}
+
+} // namespace rhmd::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Analytic hardware cost model of the RHMD detector datapath.
+ *
+ * The paper implements its resilient detectors in Verilog as an
+ * extension of the open-source AO486 x86 core and synthesizes to an
+ * FPGA, reporting +1.72% area and +0.78% power for a pool of three
+ * detectors (three features, one period). We cannot run synthesis
+ * here, so this module substitutes a parametric gate/SRAM estimate
+ * calibrated to AO486-scale numbers; it also exposes the scaling
+ * argument the paper makes in prose — extra collection *periods*
+ * reuse the collection and evaluation logic (only the weight sets
+ * are duplicated) while extra *features* add counter/collection
+ * logic.
+ */
+
+#ifndef RHMD_CORE_HARDWARE_MODEL_HH
+#define RHMD_CORE_HARDWARE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "features/spec.hh"
+
+namespace rhmd::core
+{
+
+/** Baseline (host core) parameters: AO486-scale defaults. */
+struct CoreBaseline
+{
+    /** Logic elements of the host core (AO486 on Cyclone-class). */
+    double coreLogicElements = 30000.0;
+    /** Host core dynamic power, mW. */
+    double corePowerMw = 800.0;
+    /** Estimated dynamic power per active LE, mW. */
+    double powerPerLeMw = 0.012;
+    /** Leakage-equivalent power per SRAM kilobit, mW. */
+    double powerPerSramKbitMw = 0.05;
+};
+
+/** Per-block LE cost constants of the detector datapath. */
+struct DatapathCosts
+{
+    double instructionsUnitLes = 130.0; ///< opcode decode + counters
+    double memoryUnitLes = 140.0;       ///< delta, bin encode, counters
+    double architecturalUnitLes = 90.0; ///< taps on existing PMU events
+    double macUnitLes = 100.0;          ///< serial 16-bit MAC
+    double controlLes = 60.0;           ///< period FSM, select, threshold
+    double perWeightSetLes = 8.0;       ///< addressing per extra weight set
+    double weightBitsPerFeature = 16.0; ///< fixed-point weight width
+    /** NN extra: tanh LUT + second MAC pass, per detector. */
+    double nnExtraLesPerDetector = 260.0;
+};
+
+/** Output of the estimate. */
+struct HwEstimate
+{
+    double logicElements = 0.0;
+    double sramBits = 0.0;
+    double powerMw = 0.0;
+    double areaOverheadPct = 0.0;   ///< vs the host core
+    double powerOverheadPct = 0.0;  ///< vs the host core
+};
+
+/**
+ * Estimate the cost of a detector pool.
+ *
+ * @param specs     base-detector feature specs (kind + period each);
+ *                  distinct kinds need collection units, and each
+ *                  (kind, period) pair needs its own weight set.
+ * @param algorithm "LR" (single MAC pass) or "NN" (adds hidden-layer
+ *                  weights and the tanh evaluation logic).
+ * @param baseline  host-core constants.
+ * @param costs     datapath constants.
+ */
+HwEstimate estimateHardware(const std::vector<features::FeatureSpec> &specs,
+                            const std::string &algorithm,
+                            const CoreBaseline &baseline = {},
+                            const DatapathCosts &costs = {});
+
+} // namespace rhmd::core
+
+#endif // RHMD_CORE_HARDWARE_MODEL_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * PAC bound computation.
+ */
+
+#include "core/pac.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace rhmd::core
+{
+
+PacReport
+computePac(const Rhmd &pool, const features::FeatureCorpus &corpus,
+           const std::vector<std::size_t> &test_idx)
+{
+    const std::size_t n = pool.poolSize();
+    const std::uint32_t epoch = pool.decisionPeriod();
+    fatal_if(test_idx.empty(), "computePac needs test programs");
+
+    PacReport report;
+    report.baseErrors.assign(n, 0.0);
+    report.disagreement.assign(n, std::vector<double>(n, 0.0));
+
+    std::vector<std::vector<double>> disagree_counts(
+        n, std::vector<double>(n, 0.0));
+    std::vector<double> error_counts(n, 0.0);
+    std::size_t total_epochs = 0;
+
+    std::vector<int> decisions(n);
+    for (std::size_t idx : test_idx) {
+        const features::ProgramFeatures &prog = corpus.programs[idx];
+        const int truth = prog.malware ? 1 : 0;
+        const std::size_t n_epochs = prog.windows(epoch).size();
+
+        for (std::size_t e = 0; e < n_epochs; ++e) {
+            // Each base detector's decision for this epoch: its own
+            // leading sub-window, as when it is the selected one.
+            for (std::size_t i = 0; i < n; ++i) {
+                const Hmd &det = *pool.detectors()[i];
+                const std::uint32_t period = det.decisionPeriod();
+                const std::size_t w = e * (epoch / period);
+                decisions[i] =
+                    det.windowDecision(prog.windows(period)[w]);
+            }
+            ++total_epochs;
+            for (std::size_t i = 0; i < n; ++i) {
+                error_counts[i] += decisions[i] != truth ? 1.0 : 0.0;
+                for (std::size_t j = i + 1; j < n; ++j) {
+                    if (decisions[i] != decisions[j]) {
+                        disagree_counts[i][j] += 1.0;
+                        disagree_counts[j][i] += 1.0;
+                    }
+                }
+            }
+        }
+    }
+    fatal_if(total_epochs == 0, "no epochs in the test programs");
+
+    const double denom = static_cast<double>(total_epochs);
+    for (std::size_t i = 0; i < n; ++i) {
+        report.baseErrors[i] = error_counts[i] / denom;
+        for (std::size_t j = 0; j < n; ++j)
+            report.disagreement[i][j] = disagree_counts[i][j] / denom;
+    }
+
+    const std::vector<double> &policy = pool.policy();
+    report.baselinePoolError = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        report.baselinePoolError += policy[i] * report.baseErrors[i];
+
+    // Lower bound: the attacker's best single hypothesis can at best
+    // match one base detector exactly; it still errs (w.r.t. the
+    // randomized labels) whenever a *different* detector is selected
+    // and disagrees.
+    report.lowerBound = 2.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j != i)
+                sum += policy[j] * report.disagreement[i][j];
+        }
+        report.lowerBound = std::min(report.lowerBound, sum);
+    }
+
+    report.upperBound =
+        2.0 * *std::max_element(report.baseErrors.begin(),
+                                report.baseErrors.end());
+    return report;
+}
+
+} // namespace rhmd::core

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * PAC-learnability analysis of randomized detection (paper Sec. 8,
+ * Theorem 1): the attacker's best achievable reverse-engineering
+ * error against a randomized pool is bounded by the pool's weighted
+ * disagreement from below and by twice the worst base error from
+ * above.
+ */
+
+#ifndef RHMD_CORE_PAC_HH
+#define RHMD_CORE_PAC_HH
+
+#include <vector>
+
+#include "core/rhmd.hh"
+#include "features/corpus.hh"
+
+namespace rhmd::core
+{
+
+/** Empirical Theorem-1 quantities for a detector pool. */
+struct PacReport
+{
+    /** e(h_i): base-detector error vs ground truth, per detector. */
+    std::vector<double> baseErrors;
+
+    /** Delta_ij: pairwise decision-disagreement rates. */
+    std::vector<std::vector<double>> disagreement;
+
+    /** Baseline pool error with no reverse-engineering: sum p_i e(h_i). */
+    double baselinePoolError = 0.0;
+
+    /** Theorem 1 lower bound: min_i sum_{j != i} p_j Delta_ij. */
+    double lowerBound = 0.0;
+
+    /** Theorem 1 upper bound: 2 max_i e(h_i). */
+    double upperBound = 0.0;
+};
+
+/**
+ * Measure the Theorem-1 quantities over the epochs of the given test
+ * programs: each base detector classifies its own leading sub-window
+ * of every epoch (exactly what it would see when selected), so the
+ * disagreement matrix reflects deployed behaviour.
+ */
+PacReport computePac(const Rhmd &pool,
+                     const features::FeatureCorpus &corpus,
+                     const std::vector<std::size_t> &test_idx);
+
+} // namespace rhmd::core
+
+#endif // RHMD_CORE_PAC_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reverse-engineering implementation.
+ */
+
+#include "core/reverse_engineer.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace rhmd::core
+{
+
+std::unique_ptr<Hmd>
+buildProxy(Detector &victim, const features::FeatureCorpus &corpus,
+           const std::vector<std::size_t> &attacker_train,
+           const ProxyConfig &config)
+{
+    fatal_if(config.specs.empty(), "proxy needs at least one spec");
+    const std::uint32_t attacker_period = config.specs.front().period;
+
+    std::vector<const features::RawWindow *> windows;
+    std::vector<int> labels;
+
+    // The attacker does not know the victim's collection period: it
+    // queries the victim, records the decision *sequence*, and pairs
+    // its own i-th window with the victim's i-th decision. When the
+    // attacker's hypothesized period matches the victim's, the pairs
+    // align; when it does not, the pairing drifts apart one window
+    // at a time — the mechanism behind the paper's Fig. 3a peak at
+    // the true period.
+    for (std::size_t idx : attacker_train) {
+        const features::ProgramFeatures &prog = corpus.programs[idx];
+        const std::vector<int> decisions = victim.decide(prog);
+        const auto &attacker_windows = prog.windows(attacker_period);
+        const std::size_t n =
+            std::min(decisions.size(), attacker_windows.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            windows.push_back(&attacker_windows[i]);
+            labels.push_back(decisions[i]);
+        }
+    }
+    fatal_if(windows.empty(),
+             "no attacker windows available to train the proxy");
+
+    HmdConfig hmd_config;
+    hmd_config.algorithm = config.algorithm;
+    hmd_config.specs = config.specs;
+    hmd_config.opcodeTopK = config.opcodeTopK;
+    hmd_config.seed = config.seed;
+    auto proxy = std::make_unique<Hmd>(hmd_config);
+    proxy->train(windows, labels);
+    return proxy;
+}
+
+double
+proxyAgreement(Detector &victim, const Hmd &proxy,
+               const features::FeatureCorpus &corpus,
+               const std::vector<std::size_t> &attacker_test)
+{
+    const std::uint32_t proxy_period = proxy.decisionPeriod();
+
+    // Both detectors are queried on the test programs and their
+    // decision sequences compared index-wise — "the percentage of
+    // equivalent decisions made by the two detectors" (Fig. 1b).
+    std::size_t agree = 0;
+    std::size_t total = 0;
+    for (std::size_t idx : attacker_test) {
+        const features::ProgramFeatures &prog = corpus.programs[idx];
+        const std::vector<int> victim_decisions = victim.decide(prog);
+        const auto &proxy_windows = prog.windows(proxy_period);
+        const std::size_t n =
+            std::min(victim_decisions.size(), proxy_windows.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            const int predicted =
+                proxy.windowDecision(proxy_windows[i]);
+            agree += predicted == victim_decisions[i] ? 1 : 0;
+            ++total;
+        }
+    }
+    fatal_if(total == 0, "no decisions to compare");
+    return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+} // namespace rhmd::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Black-box reverse-engineering of detectors (paper Sec. 4, Fig. 1):
+ * query the victim with attacker-owned programs, label the
+ * attacker's own feature windows with the victim's decisions, train
+ * a proxy, and measure proxy/victim decision agreement.
+ */
+
+#ifndef RHMD_CORE_REVERSE_ENGINEER_HH
+#define RHMD_CORE_REVERSE_ENGINEER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hmd.hh"
+
+namespace rhmd::core
+{
+
+/** Attacker-side hypothesis and training configuration. */
+struct ProxyConfig
+{
+    /** Attacker's learning algorithm: "LR", "NN", "DT", or "SVM". */
+    std::string algorithm = "NN";
+
+    /**
+     * Attacker's hypothesized feature specs (usually one; several
+     * model the paper's "combined" union-of-features attacker). All
+     * share the attacker's hypothesized collection period.
+     */
+    std::vector<features::FeatureSpec> specs;
+
+    std::size_t opcodeTopK = 16;
+    std::uint64_t seed = 7;
+};
+
+/**
+ * Train a reverse-engineered proxy of @p victim.
+ *
+ * The victim is queried once per program in @p attacker_train; each
+ * attacker window is labeled with the victim decision for the epoch
+ * containing the window's final instruction (period mismatch between
+ * attacker and victim therefore misaligns labels, the effect behind
+ * the paper's Fig. 3a).
+ */
+std::unique_ptr<Hmd> buildProxy(
+    Detector &victim, const features::FeatureCorpus &corpus,
+    const std::vector<std::size_t> &attacker_train,
+    const ProxyConfig &config);
+
+/**
+ * Reverse-engineering success: the fraction of victim decisions on
+ * the test programs the proxy reproduces ("percentage of equivalent
+ * decisions"), evaluated at the victim's decision cadence with
+ * fresh victim randomness.
+ */
+double proxyAgreement(Detector &victim, const Hmd &proxy,
+                      const features::FeatureCorpus &corpus,
+                      const std::vector<std::size_t> &attacker_test);
+
+} // namespace rhmd::core
+
+#endif // RHMD_CORE_REVERSE_ENGINEER_HH

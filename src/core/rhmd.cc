@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Resilient HMD implementation.
+ */
+
+#include "core/rhmd.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace rhmd::core
+{
+
+Rhmd::Rhmd(std::vector<std::unique_ptr<Hmd>> detectors,
+           std::vector<double> policy, std::uint64_t seed)
+    : detectors_(std::move(detectors)), policy_(std::move(policy)),
+      rng_(seed)
+{
+    fatal_if(detectors_.empty(), "Rhmd needs at least one detector");
+    for (const auto &det : detectors_) {
+        fatal_if(det == nullptr, "Rhmd received a null detector");
+        fatal_if(!det->trained(),
+                 "Rhmd detectors must be trained before pooling");
+    }
+
+    if (policy_.empty()) {
+        policy_.assign(detectors_.size(),
+                       1.0 / static_cast<double>(detectors_.size()));
+    }
+    fatal_if(policy_.size() != detectors_.size(),
+             "policy size must match the detector count");
+    double total = 0.0;
+    for (double p : policy_) {
+        fatal_if(p < 0.0, "policy probabilities must be non-negative");
+        total += p;
+    }
+    fatal_if(std::abs(total - 1.0) > 1e-9, "policy must sum to 1");
+
+    // Epoch alignment: every base period must divide the longest one
+    // so precollected windows line up with epoch boundaries.
+    epoch_ = 0;
+    for (const auto &det : detectors_)
+        epoch_ = std::max(epoch_, det->decisionPeriod());
+    for (const auto &det : detectors_) {
+        fatal_if(epoch_ % det->decisionPeriod() != 0,
+                 "base period ", det->decisionPeriod(),
+                 " does not divide the epoch length ", epoch_);
+    }
+
+    selectionCounts_.assign(detectors_.size(), 0);
+}
+
+std::uint32_t
+Rhmd::decisionPeriod() const
+{
+    return epoch_;
+}
+
+std::vector<int>
+Rhmd::decide(const features::ProgramFeatures &prog)
+{
+    // Number of full epochs available for this program.
+    const std::size_t n_epochs = prog.windows(epoch_).size();
+    std::vector<int> decisions;
+    decisions.reserve(n_epochs);
+
+    for (std::size_t e = 0; e < n_epochs; ++e) {
+        const std::size_t pick = rng_.weightedIndex(policy_);
+        ++selectionCounts_[pick];
+        Hmd &det = *detectors_[pick];
+        const std::uint32_t period = det.decisionPeriod();
+        // The chosen detector classifies the first sub-window of the
+        // epoch at its own period.
+        const std::size_t index =
+            e * (epoch_ / period);
+        const auto &windows = prog.windows(period);
+        panic_if(index >= windows.size(),
+                 "window index out of range for period ", period);
+        decisions.push_back(det.windowDecision(windows[index]));
+    }
+    return decisions;
+}
+
+void
+Rhmd::reseed(std::uint64_t seed)
+{
+    rng_ = Rng(seed);
+}
+
+RotatingRhmd::RotatingRhmd(std::vector<std::unique_ptr<Hmd>> candidates,
+                           std::size_t active_size,
+                           std::uint32_t rotation_epochs,
+                           std::uint64_t seed)
+    : candidates_(std::move(candidates)), activeSize_(active_size),
+      rotationEpochs_(rotation_epochs), rng_(seed)
+{
+    fatal_if(candidates_.empty(), "RotatingRhmd needs candidates");
+    fatal_if(activeSize_ == 0 || activeSize_ > candidates_.size(),
+             "active subset size must be in [1, ", candidates_.size(),
+             "]");
+    fatal_if(rotationEpochs_ == 0, "rotation interval must be positive");
+    for (const auto &det : candidates_) {
+        fatal_if(det == nullptr, "RotatingRhmd received a null detector");
+        fatal_if(!det->trained(),
+                 "RotatingRhmd candidates must be trained");
+    }
+    epoch_ = 0;
+    for (const auto &det : candidates_)
+        epoch_ = std::max(epoch_, det->decisionPeriod());
+    for (const auto &det : candidates_) {
+        fatal_if(epoch_ % det->decisionPeriod() != 0,
+                 "base period ", det->decisionPeriod(),
+                 " does not divide the epoch length ", epoch_);
+    }
+    rotate();
+}
+
+void
+RotatingRhmd::rotate()
+{
+    const std::vector<std::size_t> perm =
+        rng_.permutation(candidates_.size());
+    active_.assign(perm.begin(), perm.begin() + activeSize_);
+    epochsUntilRotation_ = rotationEpochs_;
+}
+
+std::uint32_t
+RotatingRhmd::decisionPeriod() const
+{
+    return epoch_;
+}
+
+std::vector<int>
+RotatingRhmd::decide(const features::ProgramFeatures &prog)
+{
+    const std::size_t n_epochs = prog.windows(epoch_).size();
+    std::vector<int> decisions;
+    decisions.reserve(n_epochs);
+    for (std::size_t e = 0; e < n_epochs; ++e) {
+        if (epochsUntilRotation_ == 0)
+            rotate();
+        --epochsUntilRotation_;
+        const std::size_t pick =
+            active_[rng_.below(active_.size())];
+        Hmd &det = *candidates_[pick];
+        const std::uint32_t period = det.decisionPeriod();
+        const std::size_t index = e * (epoch_ / period);
+        decisions.push_back(
+            det.windowDecision(prog.windows(period)[index]));
+    }
+    return decisions;
+}
+
+std::unique_ptr<Rhmd>
+buildRhmd(const std::string &algorithm,
+          const std::vector<features::FeatureSpec> &specs,
+          const features::FeatureCorpus &corpus,
+          const std::vector<std::size_t> &train_idx,
+          std::size_t opcode_top_k, std::uint64_t seed)
+{
+    fatal_if(specs.empty(), "buildRhmd needs at least one spec");
+    std::vector<std::unique_ptr<Hmd>> pool;
+    pool.reserve(specs.size());
+    std::uint64_t det_seed = seed;
+    for (const features::FeatureSpec &spec : specs) {
+        HmdConfig config;
+        config.algorithm = algorithm;
+        config.specs = {spec};
+        config.opcodeTopK = opcode_top_k;
+        config.seed = ++det_seed;
+        auto det = std::make_unique<Hmd>(config);
+        det->trainOnPrograms(corpus, train_idx);
+        pool.push_back(std::move(det));
+    }
+    return std::make_unique<Rhmd>(std::move(pool),
+                                  std::vector<double>{}, seed ^ 0xabcdef);
+}
+
+} // namespace rhmd::core

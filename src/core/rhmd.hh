@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The paper's contribution: the Resilient HMD — a pool of diverse
+ * base detectors (different feature vectors and collection periods)
+ * switched stochastically so the composite decision boundary cannot
+ * be reverse-engineered (Sec. 7).
+ */
+
+#ifndef RHMD_CORE_RHMD_HH
+#define RHMD_CORE_RHMD_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/hmd.hh"
+#include "support/rng.hh"
+
+namespace rhmd::core
+{
+
+/**
+ * Randomized detector pool.
+ *
+ * Decision epochs run at the longest base period; every epoch an
+ * independent draw from the policy vector selects the detector that
+ * classifies that epoch. A detector with a shorter period classifies
+ * the leading sub-window of the epoch (base periods must divide the
+ * epoch length so precollected windows align).
+ */
+class Rhmd : public Detector
+{
+  public:
+    /**
+     * @param detectors trained base detectors (takes ownership).
+     * @param policy    selection probabilities p_i; empty means
+     *                  uniform. Must sum to 1 when given.
+     * @param seed      switching randomness.
+     */
+    Rhmd(std::vector<std::unique_ptr<Hmd>> detectors,
+         std::vector<double> policy, std::uint64_t seed);
+
+    /** Epoch length: the maximum base-detector period. */
+    std::uint32_t decisionPeriod() const override;
+
+    std::vector<int>
+    decide(const features::ProgramFeatures &prog) override;
+
+    /** Base detectors. */
+    const std::vector<std::unique_ptr<Hmd>> &detectors() const
+    {
+        return detectors_;
+    }
+
+    /** Selection policy (always normalized, never empty). */
+    const std::vector<double> &policy() const { return policy_; }
+
+    /** Number of base detectors. */
+    std::size_t poolSize() const { return detectors_.size(); }
+
+    /**
+     * How often each detector was selected since construction
+     * (tests use this to check the switch matches the policy).
+     */
+    const std::vector<std::size_t> &selectionCounts() const
+    {
+        return selectionCounts_;
+    }
+
+    /** Reseed the switching randomness (reproducible replays). */
+    void reseed(std::uint64_t seed);
+
+  private:
+    std::vector<std::unique_ptr<Hmd>> detectors_;
+    std::vector<double> policy_;
+    Rng rng_;
+    std::uint32_t epoch_ = 0;
+    std::vector<std::size_t> selectionCounts_;
+};
+
+/**
+ * Convenience builder: create and train one base detector per
+ * (algorithm, spec) on the given ground-truth programs, then wrap
+ * them in an Rhmd with a uniform policy.
+ */
+std::unique_ptr<Rhmd> buildRhmd(
+    const std::string &algorithm,
+    const std::vector<features::FeatureSpec> &specs,
+    const features::FeatureCorpus &corpus,
+    const std::vector<std::size_t> &train_idx, std::size_t opcode_top_k,
+    std::uint64_t seed);
+
+/**
+ * The paper's Sec. 8.3 future-work design: a *non-stationary* RHMD.
+ * An attacker who knows the exact base-detector configurations of a
+ * static pool can iteratively evade all of them (at high overhead);
+ * the proposed mitigation keeps "a large set of candidate features
+ * and periods, of which a random subset is used for the RHMD at any
+ * given time". This class holds a candidate pool and re-draws the
+ * active subset every rotation interval, so the composite decision
+ * boundary moves under the attacker's feet.
+ */
+class RotatingRhmd : public Detector
+{
+  public:
+    /**
+     * @param candidates      trained candidate detectors.
+     * @param active_size     detectors active at a time.
+     * @param rotation_epochs epochs between subset re-draws.
+     * @param seed            switching and rotation randomness.
+     */
+    RotatingRhmd(std::vector<std::unique_ptr<Hmd>> candidates,
+                 std::size_t active_size, std::uint32_t rotation_epochs,
+                 std::uint64_t seed);
+
+    std::uint32_t decisionPeriod() const override;
+    std::vector<int>
+    decide(const features::ProgramFeatures &prog) override;
+
+    const std::vector<std::unique_ptr<Hmd>> &candidates() const
+    {
+        return candidates_;
+    }
+    std::size_t activeSize() const { return activeSize_; }
+
+    /** Indices of the currently active subset (for tests). */
+    const std::vector<std::size_t> &activeSubset() const
+    {
+        return active_;
+    }
+
+  private:
+    void rotate();
+
+    std::vector<std::unique_ptr<Hmd>> candidates_;
+    std::size_t activeSize_;
+    std::uint32_t rotationEpochs_;
+    Rng rng_;
+    std::uint32_t epoch_ = 0;
+    std::uint32_t epochsUntilRotation_ = 0;
+    std::vector<std::size_t> active_;
+};
+
+} // namespace rhmd::core
+
+#endif // RHMD_CORE_RHMD_HH

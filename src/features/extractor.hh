@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Single-pass feature extraction: a TraceSink that drives the
+ * monitoring-unit model and slices the stream into collection
+ * windows for any number of periods simultaneously.
+ */
+
+#ifndef RHMD_FEATURES_EXTRACTOR_HH
+#define RHMD_FEATURES_EXTRACTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "features/window.hh"
+#include "trace/execution.hh"
+#include "uarch/cpi_model.hh"
+#include "uarch/perf_counters.hh"
+
+namespace rhmd::features
+{
+
+/**
+ * Consumes one program's committed stream and produces RawWindows
+ * for every requested collection period in a single pass. Trailing
+ * partial windows are discarded, as in the paper's methodology.
+ */
+class FeatureSession : public trace::TraceSink
+{
+  public:
+    /**
+     * @param periods window sizes in instructions (e.g. {5000, 10000});
+     *                must be unique and positive.
+     * @param pmu     monitoring hardware configuration.
+     */
+    explicit FeatureSession(std::vector<std::uint32_t> periods,
+                            const uarch::PmuConfig &pmu = {});
+
+    void consume(const trace::DynInst &inst) override;
+
+    /** Completed windows for one of the configured periods. */
+    const std::vector<RawWindow> &windows(std::uint32_t period) const;
+
+    /** Estimated whole-trace cycles (CPI model). */
+    double totalCycles() const { return cpi_.cycles(); }
+
+    /** Total committed instructions consumed. */
+    std::uint64_t totalInsts() const { return totalInsts_; }
+
+  private:
+    struct PeriodAccum
+    {
+        std::uint32_t period = 0;
+        RawWindow current;
+        std::vector<RawWindow> done;
+        uarch::EventCounts eventBase{};  ///< cumulative snapshot
+        double cycleBase = 0.0;
+        std::uint64_t injectedInWindow = 0;
+    };
+
+    uarch::PerfMonitor monitor_;
+    uarch::CpiModel cpi_;
+    std::vector<PeriodAccum> accums_;
+    bool haveLastAddr_ = false;
+    std::uint64_t lastAddr_ = 0;
+    std::uint64_t totalInsts_ = 0;
+};
+
+} // namespace rhmd::features
+
+#endif // RHMD_FEATURES_EXTRACTOR_HH

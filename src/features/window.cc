@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Window helpers.
+ */
+
+#include "features/window.hh"
+
+#include <bit>
+
+namespace rhmd::features
+{
+
+std::size_t
+memDeltaBin(std::uint64_t prev_addr, std::uint64_t addr)
+{
+    const std::uint64_t delta =
+        addr > prev_addr ? addr - prev_addr : prev_addr - addr;
+    if (delta == 0)
+        return 0;
+    const std::size_t bin = std::bit_width(delta);  // 1 + floor(log2)
+    return bin < kNumMemBins ? bin : kNumMemBins - 1;
+}
+
+} // namespace rhmd::features

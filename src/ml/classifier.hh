@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The classifier interface every learning algorithm implements.
+ */
+
+#ifndef RHMD_ML_CLASSIFIER_HH
+#define RHMD_ML_CLASSIFIER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hh"
+#include "support/rng.hh"
+
+namespace rhmd::ml
+{
+
+/**
+ * A binary classifier. score() returns the positive-class (malware)
+ * probability-like value in [0, 1]; callers choose the operating
+ * threshold (typically via metrics::bestAccuracyThreshold to match
+ * the paper's "point on the ROC which maximizes the accuracy").
+ */
+class Classifier
+{
+  public:
+    virtual ~Classifier() = default;
+
+    /**
+     * Fit to the (already standardized) training data. @p rng drives
+     * initialization and example ordering, making training fully
+     * deterministic for a given seed.
+     */
+    virtual void train(const Dataset &data, Rng &rng) = 0;
+
+    /** Positive-class score in [0, 1]. */
+    virtual double score(const std::vector<double> &x) const = 0;
+
+    /** Deep copy (used to stamp out detector pools). */
+    virtual std::unique_ptr<Classifier> clone() const = 0;
+
+    /** Algorithm name, e.g. "LR", "NN", "DT", "SVM". */
+    virtual std::string name() const = 0;
+
+    /** Hard decision at a threshold. */
+    int
+    predict(const std::vector<double> &x, double threshold = 0.5) const
+    {
+        return score(x) >= threshold ? 1 : 0;
+    }
+};
+
+} // namespace rhmd::ml
+
+#endif // RHMD_ML_CLASSIFIER_HH

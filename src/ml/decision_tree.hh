@@ -1,0 +1,64 @@
+/**
+ * @file
+ * CART decision tree — one of the attacker-side algorithms the paper
+ * uses to reverse-engineer victims (Figs. 3 and 4).
+ */
+
+#ifndef RHMD_ML_DECISION_TREE_HH
+#define RHMD_ML_DECISION_TREE_HH
+
+#include "ml/classifier.hh"
+
+namespace rhmd::ml
+{
+
+/** Tree growth limits. */
+struct TreeConfig
+{
+    std::size_t maxDepth = 8;
+    std::size_t minSamplesLeaf = 8;
+    std::size_t minSamplesSplit = 16;
+};
+
+/**
+ * Binary CART trained by greedy Gini-impurity splitting on axis-
+ * aligned thresholds; score() returns the leaf's positive fraction.
+ */
+class DecisionTree : public Classifier
+{
+  public:
+    explicit DecisionTree(TreeConfig config = {});
+
+    void train(const Dataset &data, Rng &rng) override;
+    double score(const std::vector<double> &x) const override;
+    std::unique_ptr<Classifier> clone() const override;
+    std::string name() const override { return "DT"; }
+
+    /** Number of nodes in the grown tree. */
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    /** Depth of the grown tree. */
+    std::size_t depth() const;
+
+  private:
+    struct Node
+    {
+        bool leaf = true;
+        double value = 0.5;       ///< leaf positive fraction
+        std::size_t feature = 0;
+        double threshold = 0.0;   ///< go left when x[f] <= threshold
+        std::int32_t left = -1;
+        std::int32_t right = -1;
+    };
+
+    std::int32_t build(const Dataset &data,
+                       std::vector<std::size_t> &indices,
+                       std::size_t depth);
+
+    TreeConfig config_;
+    std::vector<Node> nodes_;
+};
+
+} // namespace rhmd::ml
+
+#endif // RHMD_ML_DECISION_TREE_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Metrics implementation.
+ */
+
+#include "ml/metrics.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace rhmd::ml
+{
+
+double
+Confusion::accuracy() const
+{
+    const std::size_t n = total();
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(tp + tn) / static_cast<double>(n);
+}
+
+double
+Confusion::sensitivity() const
+{
+    const std::size_t positives = tp + fn;
+    if (positives == 0)
+        return 0.0;
+    return static_cast<double>(tp) / static_cast<double>(positives);
+}
+
+double
+Confusion::specificity() const
+{
+    const std::size_t negatives = tn + fp;
+    if (negatives == 0)
+        return 0.0;
+    return static_cast<double>(tn) / static_cast<double>(negatives);
+}
+
+Confusion
+confusionAt(const std::vector<double> &scores,
+            const std::vector<int> &labels, double threshold)
+{
+    panic_if(scores.size() != labels.size(),
+             "confusionAt: size mismatch");
+    Confusion c;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        const bool positive = scores[i] >= threshold;
+        if (labels[i] == 1) {
+            positive ? ++c.tp : ++c.fn;
+        } else {
+            positive ? ++c.fp : ++c.tn;
+        }
+    }
+    return c;
+}
+
+RocCurve
+rocCurve(const std::vector<double> &scores, const std::vector<int> &labels)
+{
+    panic_if(scores.size() != labels.size(), "rocCurve: size mismatch");
+    fatal_if(scores.empty(), "rocCurve: empty input");
+
+    std::size_t n_pos = 0;
+    for (int label : labels)
+        n_pos += label;
+    const std::size_t n_neg = labels.size() - n_pos;
+    fatal_if(n_pos == 0 || n_neg == 0,
+             "rocCurve requires both classes present");
+
+    // Sort by descending score; sweep the threshold across the
+    // distinct score values.
+    std::vector<std::size_t> order(scores.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a,
+                                              std::size_t b) {
+        return scores[a] > scores[b];
+    });
+
+    RocCurve roc;
+    roc.points.reserve(scores.size() + 2);
+
+    std::size_t tp = 0;
+    std::size_t fp = 0;
+    double prev_fpr = 0.0;
+    double prev_tpr = 0.0;
+    double area = 0.0;
+
+    // Threshold above every score: nothing flagged.
+    roc.points.push_back({scores[order.front()] + 1.0, 0.0, 0.0,
+                          static_cast<double>(n_neg) /
+                              static_cast<double>(labels.size())});
+    roc.bestAccuracy = roc.points.front().accuracy;
+    roc.bestThreshold = roc.points.front().threshold;
+    roc.bestBalancedAccuracy = 0.5;  // flag-nothing: TPR 0, TNR 1
+    roc.bestBalancedThreshold = roc.points.front().threshold;
+
+    std::size_t i = 0;
+    while (i < order.size()) {
+        const double value = scores[order[i]];
+        // Consume ties together so the curve has one point per
+        // distinct threshold.
+        while (i < order.size() && scores[order[i]] == value) {
+            if (labels[order[i]] == 1)
+                ++tp;
+            else
+                ++fp;
+            ++i;
+        }
+        const double tpr =
+            static_cast<double>(tp) / static_cast<double>(n_pos);
+        const double fpr =
+            static_cast<double>(fp) / static_cast<double>(n_neg);
+        const double accuracy =
+            static_cast<double>(tp + (n_neg - fp)) /
+            static_cast<double>(labels.size());
+
+        area += (fpr - prev_fpr) * (tpr + prev_tpr) * 0.5;
+        prev_fpr = fpr;
+        prev_tpr = tpr;
+
+        roc.points.push_back({value, tpr, fpr, accuracy});
+        if (accuracy > roc.bestAccuracy) {
+            roc.bestAccuracy = accuracy;
+            roc.bestThreshold = value;
+        }
+        const double balanced = (tpr + (1.0 - fpr)) / 2.0;
+        if (balanced > roc.bestBalancedAccuracy) {
+            roc.bestBalancedAccuracy = balanced;
+            roc.bestBalancedThreshold = value;
+        }
+    }
+
+    roc.auc = area;
+    return roc;
+}
+
+double
+auc(const std::vector<double> &scores, const std::vector<int> &labels)
+{
+    return rocCurve(scores, labels).auc;
+}
+
+double
+bestAccuracyThreshold(const std::vector<double> &scores,
+                      const std::vector<int> &labels)
+{
+    return rocCurve(scores, labels).bestThreshold;
+}
+
+double
+bestBalancedThreshold(const std::vector<double> &scores,
+                      const std::vector<int> &labels)
+{
+    return rocCurve(scores, labels).bestBalancedThreshold;
+}
+
+double
+agreement(const std::vector<int> &a, const std::vector<int> &b)
+{
+    panic_if(a.size() != b.size(), "agreement: size mismatch");
+    fatal_if(a.empty(), "agreement: empty input");
+    std::size_t same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        same += a[i] == b[i] ? 1 : 0;
+    return static_cast<double>(same) / static_cast<double>(a.size());
+}
+
+} // namespace rhmd::ml

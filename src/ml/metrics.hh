@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Classification metrics: confusion counts, sensitivity/specificity,
+ * ROC curves, AUC, and the accuracy-optimal threshold the paper uses
+ * as its HMD operating point.
+ */
+
+#ifndef RHMD_ML_METRICS_HH
+#define RHMD_ML_METRICS_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rhmd::ml
+{
+
+/** Binary confusion counts. */
+struct Confusion
+{
+    std::size_t tp = 0;
+    std::size_t fp = 0;
+    std::size_t tn = 0;
+    std::size_t fn = 0;
+
+    std::size_t total() const { return tp + fp + tn + fn; }
+
+    /** Fraction of all decisions that are correct. */
+    double accuracy() const;
+
+    /** True-positive rate (malware detected). */
+    double sensitivity() const;
+
+    /** True-negative rate (benign passed). */
+    double specificity() const;
+};
+
+/** Confusion of scores vs labels at a threshold. */
+Confusion confusionAt(const std::vector<double> &scores,
+                      const std::vector<int> &labels, double threshold);
+
+/** One ROC operating point. */
+struct RocPoint
+{
+    double threshold;
+    double tpr;
+    double fpr;
+    double accuracy;
+};
+
+/** ROC curve plus summary statistics. */
+struct RocCurve
+{
+    std::vector<RocPoint> points;  ///< descending threshold
+    double auc = 0.0;
+    double bestThreshold = 0.5;    ///< maximizes accuracy
+    double bestAccuracy = 0.0;
+    /** Maximizes balanced accuracy (TPR - FPR, Youden's J). */
+    double bestBalancedThreshold = 0.5;
+    double bestBalancedAccuracy = 0.0;  ///< (TPR + TNR) / 2 there
+};
+
+/**
+ * Build the full ROC from scores and labels. Requires both classes
+ * present. AUC is computed by the trapezoid rule over the exact
+ * operating points (equivalently, the Mann-Whitney statistic).
+ */
+RocCurve rocCurve(const std::vector<double> &scores,
+                  const std::vector<int> &labels);
+
+/** Convenience: AUC only. */
+double auc(const std::vector<double> &scores,
+           const std::vector<int> &labels);
+
+/** Convenience: the accuracy-maximizing threshold. */
+double bestAccuracyThreshold(const std::vector<double> &scores,
+                             const std::vector<int> &labels);
+
+/**
+ * Convenience: the balanced-accuracy-maximizing threshold. Detectors
+ * operate here so a class-imbalanced training corpus does not push
+ * the operating point into flagging everything.
+ */
+double bestBalancedThreshold(const std::vector<double> &scores,
+                             const std::vector<int> &labels);
+
+/**
+ * Agreement rate between two decision vectors — the paper's
+ * reverse-engineering success metric ("percentage of equivalent
+ * decisions made by the two detectors").
+ */
+double agreement(const std::vector<int> &a, const std::vector<int> &b);
+
+} // namespace rhmd::ml
+
+#endif // RHMD_ML_METRICS_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Random forest implementation.
+ */
+
+#include "ml/random_forest.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace rhmd::ml
+{
+
+RandomForest::RandomForest(ForestConfig config)
+    : config_(config)
+{
+    fatal_if(config_.trees == 0, "a forest needs at least one tree");
+    fatal_if(config_.sampleFrac <= 0.0 || config_.sampleFrac > 1.0,
+             "sampleFrac must be in (0, 1]");
+}
+
+void
+RandomForest::train(const Dataset &data, Rng &rng)
+{
+    fatal_if(data.empty(), "cannot train RF on empty data");
+    data.validate();
+    trees_.clear();
+    featureSel_.clear();
+    trees_.reserve(config_.trees);
+    featureSel_.reserve(config_.trees);
+
+    const std::size_t d = data.dim();
+    const auto features_per_tree = std::min<std::size_t>(
+        d, std::max<std::size_t>(
+               1, static_cast<std::size_t>(
+                      std::ceil(std::sqrt(static_cast<double>(d)) *
+                                config_.featureFactor))));
+    const auto samples_per_tree = std::max<std::size_t>(
+        2, static_cast<std::size_t>(
+               config_.sampleFrac * static_cast<double>(data.size())));
+
+    for (std::size_t t = 0; t < config_.trees; ++t) {
+        // Feature subset for this tree.
+        const std::vector<std::size_t> perm = rng.permutation(d);
+        std::vector<std::size_t> sel(perm.begin(),
+                                     perm.begin() + features_per_tree);
+        // Bootstrap sample projected onto the subset.
+        Dataset sample;
+        for (std::size_t k = 0; k < samples_per_tree; ++k) {
+            const std::size_t i = rng.below(data.size());
+            std::vector<double> row;
+            row.reserve(sel.size());
+            for (std::size_t f : sel)
+                row.push_back(data.x[i][f]);
+            sample.add(std::move(row), data.y[i]);
+        }
+        DecisionTree tree(config_.tree);
+        tree.train(sample, rng);
+        trees_.push_back(std::move(tree));
+        featureSel_.push_back(std::move(sel));
+    }
+}
+
+double
+RandomForest::score(const std::vector<double> &x) const
+{
+    panic_if(trees_.empty(), "RF scored before training");
+    double total = 0.0;
+    std::vector<double> projected;
+    for (std::size_t t = 0; t < trees_.size(); ++t) {
+        projected.clear();
+        projected.reserve(featureSel_[t].size());
+        for (std::size_t f : featureSel_[t])
+            projected.push_back(x[f]);
+        total += trees_[t].score(projected);
+    }
+    return total / static_cast<double>(trees_.size());
+}
+
+std::unique_ptr<Classifier>
+RandomForest::clone() const
+{
+    return std::make_unique<RandomForest>(*this);
+}
+
+} // namespace rhmd::ml

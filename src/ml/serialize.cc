@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Classifier factory and text serialization implementation.
+ */
+
+#include "ml/serialize.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "ml/decision_tree.hh"
+#include "ml/logistic_regression.hh"
+#include "ml/mlp.hh"
+#include "ml/random_forest.hh"
+#include "ml/svm.hh"
+#include "support/logging.hh"
+
+namespace rhmd::ml
+{
+
+std::unique_ptr<Classifier>
+makeClassifier(const std::string &name)
+{
+    if (name == "LR")
+        return std::make_unique<LogisticRegression>();
+    if (name == "NN")
+        return std::make_unique<Mlp>();
+    if (name == "DT")
+        return std::make_unique<DecisionTree>();
+    if (name == "SVM")
+        return std::make_unique<LinearSvm>();
+    if (name == "RF")
+        return std::make_unique<RandomForest>();
+    rhmd_fatal("unknown classifier algorithm '", name, "'");
+}
+
+namespace
+{
+
+void
+writeVector(std::ostream &os, const std::vector<double> &v)
+{
+    os << v.size();
+    for (double x : v)
+        os << ' ' << x;
+    os << '\n';
+}
+
+std::vector<double>
+readVector(std::istream &is)
+{
+    std::size_t n = 0;
+    fatal_if(!(is >> n), "corrupt model stream: missing vector size");
+    std::vector<double> v(n);
+    for (double &x : v)
+        fatal_if(!(is >> x), "corrupt model stream: short vector");
+    return v;
+}
+
+} // namespace
+
+void
+saveModel(const Classifier &model, std::ostream &os)
+{
+    if (const auto *lr =
+            dynamic_cast<const LogisticRegression *>(&model)) {
+        os << "LR\n";
+        writeVector(os, lr->weights());
+        os << lr->bias() << '\n';
+        return;
+    }
+    if (const auto *svm = dynamic_cast<const LinearSvm *>(&model)) {
+        os << "SVM\n";
+        writeVector(os, svm->weights());
+        os << svm->bias() << '\n';
+        return;
+    }
+    if (const auto *mlp = dynamic_cast<const Mlp *>(&model)) {
+        os << "NN\n";
+        os << mlp->hiddenWeights().size() << '\n';
+        for (const auto &row : mlp->hiddenWeights())
+            writeVector(os, row);
+        writeVector(os, mlp->hiddenBias());
+        writeVector(os, mlp->outputWeights());
+        os << mlp->outputBias() << '\n';
+        return;
+    }
+    rhmd_fatal("model '", model.name(),
+               "' does not support serialization");
+}
+
+std::unique_ptr<Classifier>
+loadModel(std::istream &is)
+{
+    std::string kind;
+    fatal_if(!(is >> kind), "corrupt model stream: missing header");
+    if (kind == "LR") {
+        auto weights = readVector(is);
+        double bias = 0.0;
+        fatal_if(!(is >> bias), "corrupt LR model: missing bias");
+        auto model = std::make_unique<LogisticRegression>();
+        model->setParams(std::move(weights), bias);
+        return model;
+    }
+    if (kind == "SVM") {
+        auto weights = readVector(is);
+        double bias = 0.0;
+        fatal_if(!(is >> bias), "corrupt SVM model: missing bias");
+        auto model = std::make_unique<LinearSvm>();
+        model->setParams(std::move(weights), bias);
+        return model;
+    }
+    if (kind == "NN") {
+        std::size_t hidden = 0;
+        fatal_if(!(is >> hidden), "corrupt NN model: missing size");
+        std::vector<std::vector<double>> w1(hidden);
+        for (auto &row : w1)
+            row = readVector(is);
+        auto b1 = readVector(is);
+        auto w2 = readVector(is);
+        double b2 = 0.0;
+        fatal_if(!(is >> b2), "corrupt NN model: missing bias");
+        auto model = std::make_unique<Mlp>();
+        model->setParams(std::move(w1), std::move(b1), std::move(w2),
+                         b2);
+        return model;
+    }
+    rhmd_fatal("unknown model kind '", kind, "' in stream");
+}
+
+} // namespace rhmd::ml

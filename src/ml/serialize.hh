@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Classifier factory and simple text serialization.
+ *
+ * Serialization covers the parametric models (LR, SVM, MLP) whose
+ * weights a hardware deployment would flash into detector SRAM; the
+ * format is line-oriented text so tests and humans can read it.
+ */
+
+#ifndef RHMD_ML_SERIALIZE_HH
+#define RHMD_ML_SERIALIZE_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "ml/classifier.hh"
+
+namespace rhmd::ml
+{
+
+/**
+ * Construct a fresh (untrained) classifier by algorithm name:
+ * "LR", "NN", "DT", or "SVM".
+ */
+std::unique_ptr<Classifier> makeClassifier(const std::string &name);
+
+/**
+ * Serialize a trained LR, SVM, or MLP to text. Fatal for
+ * non-parametric classifiers (DT).
+ */
+void saveModel(const Classifier &model, std::ostream &os);
+
+/** Deserialize a model previously written by saveModel(). */
+std::unique_ptr<Classifier> loadModel(std::istream &is);
+
+} // namespace rhmd::ml
+
+#endif // RHMD_ML_SERIALIZE_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Pegasos linear SVM implementation.
+ */
+
+#include "ml/svm.hh"
+
+#include <cmath>
+
+#include "ml/logistic_regression.hh"  // for sigmoid()
+#include "support/logging.hh"
+#include "support/stats.hh"
+
+namespace rhmd::ml
+{
+
+LinearSvm::LinearSvm(SvmConfig config)
+    : config_(config)
+{
+}
+
+void
+LinearSvm::train(const Dataset &data, Rng &rng)
+{
+    fatal_if(data.empty(), "cannot train SVM on empty data");
+    data.validate();
+    const std::size_t d = data.dim();
+    weights_.assign(d, 0.0);
+    bias_ = 0.0;
+
+    std::size_t t = 0;
+    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+        const std::vector<std::size_t> order =
+            rng.permutation(data.size());
+        for (std::size_t i : order) {
+            ++t;
+            const double eta =
+                1.0 / (config_.lambda * static_cast<double>(t));
+            const double label = data.y[i] == 1 ? 1.0 : -1.0;
+            const double m = (dot(weights_, data.x[i]) + bias_) * label;
+
+            // w <- (1 - eta*lambda) w  [+ eta*y*x on margin violation]
+            const double shrink = 1.0 - eta * config_.lambda;
+            for (double &w : weights_)
+                w *= shrink;
+            if (m < 1.0) {
+                axpy(weights_, eta * label, data.x[i]);
+                bias_ += eta * label * 0.1;  // lightly-regularized bias
+            }
+        }
+    }
+}
+
+double
+LinearSvm::margin(const std::vector<double> &x) const
+{
+    panic_if(weights_.empty(), "SVM scored before training");
+    return dot(weights_, x) + bias_;
+}
+
+double
+LinearSvm::score(const std::vector<double> &x) const
+{
+    return sigmoid(config_.scoreSharpness * margin(x));
+}
+
+std::unique_ptr<Classifier>
+LinearSvm::clone() const
+{
+    return std::make_unique<LinearSvm>(*this);
+}
+
+void
+LinearSvm::setParams(std::vector<double> weights, double bias)
+{
+    weights_ = std::move(weights);
+    bias_ = bias;
+}
+
+} // namespace rhmd::ml

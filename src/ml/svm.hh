@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Linear support vector machine — the third attacker-side algorithm
+ * in the paper's reverse-engineering experiments.
+ */
+
+#ifndef RHMD_ML_SVM_HH
+#define RHMD_ML_SVM_HH
+
+#include "ml/classifier.hh"
+
+namespace rhmd::ml
+{
+
+/** Pegasos training hyperparameters. */
+struct SvmConfig
+{
+    double lambda = 1e-4;   ///< regularization strength
+    std::size_t epochs = 60;
+    /** Scale applied to the margin inside the sigmoid for score(). */
+    double scoreSharpness = 2.0;
+};
+
+/**
+ * Linear SVM trained with the Pegasos stochastic sub-gradient
+ * solver. score() squashes the signed margin through a sigmoid so
+ * the common [0, 1] threshold machinery applies.
+ */
+class LinearSvm : public Classifier
+{
+  public:
+    explicit LinearSvm(SvmConfig config = {});
+
+    void train(const Dataset &data, Rng &rng) override;
+    double score(const std::vector<double> &x) const override;
+    std::unique_ptr<Classifier> clone() const override;
+    std::string name() const override { return "SVM"; }
+
+    /** Signed margin w.x + b. */
+    double margin(const std::vector<double> &x) const;
+
+    const std::vector<double> &weights() const { return weights_; }
+    double bias() const { return bias_; }
+
+    /** Directly install parameters (testing / serialization). */
+    void setParams(std::vector<double> weights, double bias);
+
+  private:
+    SvmConfig config_;
+    std::vector<double> weights_;
+    double bias_ = 0.0;
+};
+
+} // namespace rhmd::ml
+
+#endif // RHMD_ML_SVM_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * CSV emitter implementation.
+ */
+
+#include "support/csv.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace rhmd
+{
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    panic_if(headers_.empty(), "CsvWriter requires at least one column");
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != headers_.size(),
+             "CSV row has ", cells.size(), " cells, expected ",
+             headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needs_quoting =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quoting)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+CsvWriter::str() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << escape(cells[c]);
+            if (c + 1 < cells.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+bool
+CsvWriter::write(const std::string &path) const
+{
+    std::ofstream file(path);
+    if (!file) {
+        warn("cannot open CSV output file: " + path);
+        return false;
+    }
+    file << str();
+    return static_cast<bool>(file);
+}
+
+} // namespace rhmd

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal CSV emitter so bench output can be post-processed (e.g.
+ * plotted) without scraping the ASCII tables.
+ */
+
+#ifndef RHMD_SUPPORT_CSV_HH
+#define RHMD_SUPPORT_CSV_HH
+
+#include <string>
+#include <vector>
+
+namespace rhmd
+{
+
+/**
+ * Accumulates rows and writes an RFC-4180-ish CSV file. Cells
+ * containing commas, quotes, or newlines are quoted and escaped.
+ */
+class CsvWriter
+{
+  public:
+    /** Construct with column headers. */
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Serialize the full document (header + rows). */
+    std::string str() const;
+
+    /**
+     * Write to @p path, creating/overwriting the file. Returns false
+     * (after warning) when the file cannot be opened.
+     */
+    bool write(const std::string &path) const;
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rhmd
+
+#endif // RHMD_SUPPORT_CSV_HH

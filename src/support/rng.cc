@@ -1,0 +1,200 @@
+/**
+ * @file
+ * xoshiro256** implementation and portable distribution transforms.
+ */
+
+#include "support/rng.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/logging.hh"
+
+namespace rhmd
+{
+
+namespace
+{
+
+/** splitmix64 step, used for seed expansion and forking. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+    : cachedGauss_(0.0), hasCachedGauss_(false)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random bits scaled into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::below(std::uint64_t n)
+{
+    panic_if(n == 0, "Rng::below(0) is undefined");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    panic_if(lo > hi, "Rng::range requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::gaussian()
+{
+    if (hasCachedGauss_) {
+        hasCachedGauss_ = false;
+        return cachedGauss_;
+    }
+    double u1 = uniform();
+    // Guard against log(0).
+    while (u1 <= 0.0)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    cachedGauss_ = radius * std::sin(angle);
+    hasCachedGauss_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    panic_if(p <= 0.0 || p > 1.0, "geometric requires p in (0, 1]");
+    if (p == 1.0)
+        return 0;
+    double u = uniform();
+    while (u <= 0.0)
+        u = uniform();
+    return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+std::size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        panic_if(w < 0.0, "weightedIndex requires non-negative weights");
+        total += w;
+    }
+    panic_if(total <= 0.0, "weightedIndex requires a positive weight");
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        target -= weights[i];
+        if (target < 0.0)
+            return i;
+    }
+    // Floating-point slop: fall back to the last positive weight.
+    for (std::size_t i = weights.size(); i-- > 0;) {
+        if (weights[i] > 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::vector<double>
+Rng::perturbedSimplex(const std::vector<double> &base, double spread)
+{
+    std::vector<double> out(base.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        out[i] = base[i] * std::exp(gaussian() * spread);
+        total += out[i];
+    }
+    panic_if(total <= 0.0, "perturbedSimplex requires positive mass");
+    for (double &v : out)
+        v /= total;
+    return out;
+}
+
+std::vector<std::size_t>
+Rng::permutation(std::size_t n)
+{
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i)
+        idx[i] = i;
+    for (std::size_t i = n; i > 1; --i) {
+        const std::size_t j = below(i);
+        std::swap(idx[i - 1], idx[j]);
+    }
+    return idx;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace rhmd

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Aligned ASCII table printer used by the benchmark harnesses to
+ * print the rows/series of each paper figure.
+ */
+
+#ifndef RHMD_SUPPORT_TABLE_HH
+#define RHMD_SUPPORT_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rhmd
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"period", "LR", "DT", "SVM"});
+ *   t.addRow({"10k", "0.99", "0.97", "0.98"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double as a fixed-precision cell. */
+    static std::string cell(double value, int precision = 3);
+
+    /** Convenience: format a ratio as a percentage cell ("97.2%"). */
+    static std::string percent(double fraction, int precision = 1);
+
+    /** Render the table with a separator under the header. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows currently stored. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Column headers. */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** Raw cell data. */
+    const std::vector<std::vector<std::string>> &data() const
+    {
+        return rows_;
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rhmd
+
+#endif // RHMD_SUPPORT_TABLE_HH

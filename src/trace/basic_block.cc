@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Basic-block helpers.
+ */
+
+#include "trace/basic_block.hh"
+
+#include "support/logging.hh"
+
+namespace rhmd::trace
+{
+
+OpClass
+terminatorOpClass(TermKind kind)
+{
+    switch (kind) {
+      case TermKind::CondBranch:
+        return OpClass::BranchCond;
+      case TermKind::Jump:
+        return OpClass::BranchUncond;
+      case TermKind::Call:
+        return OpClass::Call;
+      case TermKind::Ret:
+        return OpClass::Ret;
+      case TermKind::Exit:
+        return OpClass::SystemOp;
+    }
+    rhmd_panic("unreachable terminator kind");
+}
+
+OpClass
+BasicBlock::terminatorOp() const
+{
+    return terminatorOpClass(term.kind);
+}
+
+std::uint64_t
+BasicBlock::byteSize() const
+{
+    std::uint64_t bytes = opInfo(terminatorOp()).bytes;
+    for (const StaticInst &inst : body)
+        bytes += opInfo(inst.op).bytes;
+    return bytes;
+}
+
+} // namespace rhmd::trace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * DCFG recovery implementation.
+ */
+
+#include "trace/dcfg.hh"
+
+namespace rhmd::trace
+{
+
+void
+DcfgBuilder::consume(const DynInst &inst)
+{
+    ++instCount_;
+    if (!inBlock_) {
+        pendingStart_ = inst.pc;
+        pendingOps_.clear();
+        inBlock_ = true;
+    }
+    pendingOps_.push_back(inst.op);
+
+    if (!inst.isBranch)
+        return;
+
+    // Block complete: merge into (or create) its node.
+    Node &node = nodes_[pendingStart_];
+    if (node.execCount == 0) {
+        node.startPc = pendingStart_;
+        node.ops = pendingOps_;
+        node.endsInRet = inst.op == OpClass::Ret;
+    }
+    ++node.execCount;
+
+    // Successor: where control actually went. For a not-taken
+    // conditional branch that is the fall-through pc.
+    const std::uint64_t next_pc =
+        (inst.isBranch && inst.taken) || !inst.isCondBranch
+            ? inst.target
+            : inst.pc + inst.size;
+    if (next_pc != 0)
+        ++node.successors[next_pc];
+    inBlock_ = false;
+}
+
+std::size_t
+DcfgBuilder::edgeCount() const
+{
+    std::size_t edges = 0;
+    for (const auto &[pc, node] : nodes_)
+        edges += node.successors.size();
+    return edges;
+}
+
+std::size_t
+DcfgBuilder::retBlockCount() const
+{
+    std::size_t count = 0;
+    for (const auto &[pc, node] : nodes_) {
+        if (node.endsInRet)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace rhmd::trace

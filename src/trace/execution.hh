@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The CFG interpreter: turns a static Program into a dynamic
+ * instruction stream, the same role Pin's dynamic trace collection
+ * plays in the paper.
+ */
+
+#ifndef RHMD_TRACE_EXECUTION_HH
+#define RHMD_TRACE_EXECUTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hh"
+#include "trace/program.hh"
+
+namespace rhmd::trace
+{
+
+/** One executed (committed) instruction. */
+struct DynInst
+{
+    std::uint64_t pc = 0;
+    OpClass op = OpClass::Nop;
+    std::uint8_t size = 0;        ///< encoded bytes
+
+    bool isLoad = false;
+    bool isStore = false;
+    std::uint64_t addr = 0;       ///< effective address when mem op
+    std::uint8_t accessSize = 0;
+
+    bool isBranch = false;        ///< any control transfer
+    bool isCondBranch = false;
+    bool taken = false;
+    std::uint64_t target = 0;     ///< transfer destination pc
+
+    bool injected = false;        ///< came from the evasion rewriter
+};
+
+/** Receives the committed instruction stream. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Called once per committed instruction, in program order. */
+    virtual void consume(const DynInst &inst) = 0;
+};
+
+/**
+ * Interprets a Program, sampling branch outcomes, loop trips, and
+ * memory addresses; emits the committed stream to a TraceSink.
+ *
+ * Execution restarts from the entry point when the program exits
+ * before the requested instruction budget is reached, modelling a
+ * long-running process re-entering its main loop.
+ */
+class Executor
+{
+  public:
+    /**
+     * @param program The program to execute (must outlive the
+     *                executor).
+     * @param seed    Execution-level randomness (branch outcomes,
+     *                address draws). Different seeds give different
+     *                dynamic behaviour of the same binary.
+     * @param phase_modulation
+     *                Model program phases: every 6-24K instructions
+     *                the effective conditional-branch probabilities
+     *                are re-biased (p -> p^gamma with a freshly drawn
+     *                gamma), shifting which loops are hot. Real
+     *                workloads exhibit exactly this input-dependent
+     *                phase behaviour; it is what makes collection
+     *                windows differ over time. Disable for
+     *                micro-tests that need exact branch statistics.
+     */
+    Executor(const Program &program, std::uint64_t seed,
+             bool phase_modulation = true);
+
+    /** Emit exactly @p max_insts committed instructions. */
+    void run(std::uint64_t max_insts, TraceSink &sink);
+
+    /** Maximum call-stack depth before calls flatten to fall-through. */
+    static constexpr std::size_t kMaxCallDepth = 48;
+
+  private:
+    struct Frame
+    {
+        std::uint32_t function;
+        std::uint32_t resumeBlock;
+    };
+
+    /** Compute the effective address of one memory instruction. */
+    std::uint64_t effectiveAddr(const MemRef &mem);
+
+    /** Advance the phase clock; re-roll the branch bias when due. */
+    void tickPhase();
+
+    /** Phase-biased taken probability. */
+    double biasedTakenProb(double p) const;
+
+    const Program &program_;
+    Rng rng_;
+
+    bool phaseModulation_;
+    std::uint64_t phaseLen_ = 0;      ///< instructions per phase
+    std::uint64_t phaseCountdown_ = 0;
+    double phaseGamma_ = 1.0;         ///< current probability bias
+    bool phaseJumpPending_ = false;   ///< re-dispatch at next block
+
+    /** Per-region stride cursors (persist across restarts). */
+    std::vector<std::uint64_t> cursors_;
+    std::uint64_t stackPtr_;
+    std::vector<Frame> callStack_;
+};
+
+} // namespace rhmd::trace
+
+#endif // RHMD_TRACE_EXECUTION_HH

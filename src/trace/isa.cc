@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Opcode class attribute table.
+ */
+
+#include "trace/isa.hh"
+
+#include <array>
+
+#include "support/logging.hh"
+
+namespace rhmd::trace
+{
+
+namespace
+{
+
+//                              name       ld     st     cbr    uctl   bytes lat
+constexpr std::array<OpInfo, kNumOpClasses> opTable{{
+    /* IntAdd */       {"add",       false, false, false, false, 3, 1},
+    /* IntSub */       {"sub",       false, false, false, false, 3, 1},
+    /* IntMul */       {"imul",      false, false, false, false, 4, 3},
+    /* IntDiv */       {"idiv",      false, false, false, false, 3, 20},
+    /* IntCmp */       {"cmp",       false, false, false, false, 3, 1},
+    /* IntTest */      {"test",      false, false, false, false, 3, 1},
+    /* LogicAnd */     {"and",       false, false, false, false, 3, 1},
+    /* LogicOr */      {"or",        false, false, false, false, 3, 1},
+    /* LogicXor */     {"xor",       false, false, false, false, 3, 1},
+    /* ShiftLeft */    {"shl",       false, false, false, false, 3, 1},
+    /* ShiftRight */   {"shr",       false, false, false, false, 3, 1},
+    /* Rotate */       {"rol",       false, false, false, false, 3, 1},
+    /* MovRegReg */    {"mov_rr",    false, false, false, false, 2, 1},
+    /* MovImm */       {"mov_imm",   false, false, false, false, 5, 1},
+    /* Lea */          {"lea",       false, false, false, false, 4, 1},
+    /* Load */         {"load",      true,  false, false, false, 4, 4},
+    /* Store */        {"store",     false, true,  false, false, 4, 1},
+    /* Push */         {"push",      false, true,  false, false, 1, 1},
+    /* Pop */          {"pop",       true,  false, false, false, 1, 1},
+    /* BranchCond */   {"jcc",       false, false, true,  false, 2, 1},
+    /* BranchUncond */ {"jmp",       false, false, false, true,  2, 1},
+    /* Call */         {"call",      false, true,  false, true,  5, 2},
+    /* Ret */          {"ret",       true,  false, false, true,  1, 2},
+    /* Nop */          {"nop",       false, false, false, false, 1, 1},
+    /* FpAdd */        {"fadd",      false, false, false, false, 4, 3},
+    /* FpMul */        {"fmul",      false, false, false, false, 4, 5},
+    /* FpDiv */        {"fdiv",      false, false, false, false, 4, 15},
+    /* SseVec */       {"sse_vec",   false, false, false, false, 5, 2},
+    /* StringOp */     {"rep_movs",  true,  true,  false, false, 2, 4},
+    /* AesRound */     {"aesenc",    false, false, false, false, 5, 4},
+    /* Xchg */         {"xchg",      true,  true,  false, false, 3, 8},
+    // SystemOp is not control flow for CFG purposes: syscalls resume
+    // at the next instruction. The Exit terminator tags its dynamic
+    // instance as a branch instead.
+    /* SystemOp */     {"syscall",   false, false, false, false, 2, 30},
+}};
+
+} // namespace
+
+const OpInfo &
+opInfo(OpClass op)
+{
+    const auto index = static_cast<std::size_t>(op);
+    panic_if(index >= kNumOpClasses, "bad OpClass index ", index);
+    return opTable[index];
+}
+
+std::string_view
+opName(OpClass op)
+{
+    return opInfo(op).name;
+}
+
+bool
+isControlFlow(OpClass op)
+{
+    const OpInfo &info = opInfo(op);
+    return info.isCondBranch || info.isUncondCtrl;
+}
+
+bool
+accessesMemory(OpClass op)
+{
+    const OpInfo &info = opInfo(op);
+    return info.isLoad || info.isStore;
+}
+
+OpClass
+opFromIndex(std::size_t index)
+{
+    panic_if(index >= kNumOpClasses, "bad OpClass index ", index);
+    return static_cast<OpClass>(index);
+}
+
+} // namespace rhmd::trace

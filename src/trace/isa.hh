@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Abstract instruction-set model.
+ *
+ * The RHMD feature families do not need a real decoder — they need a
+ * stable set of opcode *classes* whose per-window frequencies are the
+ * Instructions feature, plus enough attributes (memory access,
+ * control flow, size, latency) to drive the memory feature, the
+ * microarchitectural event counters, and the CPI model. The classes
+ * below are modelled on the x86 instruction groups that prior HMD
+ * work (Demme et al., Ozsoy et al.) tracked.
+ */
+
+#ifndef RHMD_TRACE_ISA_HH
+#define RHMD_TRACE_ISA_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace rhmd::trace
+{
+
+/**
+ * Opcode classes. Order is part of the library ABI: feature vectors
+ * index histograms by the numeric value, and serialized models
+ * reference these indices.
+ */
+enum class OpClass : std::uint8_t
+{
+    IntAdd,      ///< add/inc/adc
+    IntSub,      ///< sub/dec/sbb/neg
+    IntMul,      ///< imul/mul
+    IntDiv,      ///< idiv/div
+    IntCmp,      ///< cmp
+    IntTest,     ///< test
+    LogicAnd,    ///< and
+    LogicOr,     ///< or
+    LogicXor,    ///< xor
+    ShiftLeft,   ///< shl/sal
+    ShiftRight,  ///< shr/sar
+    Rotate,      ///< rol/ror
+    MovRegReg,   ///< register-to-register mov
+    MovImm,      ///< immediate mov
+    Lea,         ///< lea
+    Load,        ///< memory read (mov r, [m] and friends)
+    Store,       ///< memory write (mov [m], r)
+    Push,        ///< push (stack store)
+    Pop,         ///< pop (stack load)
+    BranchCond,  ///< jcc
+    BranchUncond,///< jmp
+    Call,        ///< call
+    Ret,         ///< ret
+    Nop,         ///< nop / multi-byte nop
+    FpAdd,       ///< x87/scalar SSE fp add/sub
+    FpMul,       ///< fp multiply
+    FpDiv,       ///< fp divide/sqrt
+    SseVec,      ///< packed SSE/AVX integer or fp op
+    StringOp,    ///< rep movs/stos/scas
+    AesRound,    ///< AES-NI / crypto round primitives
+    Xchg,        ///< xchg/lock-prefixed RMW (atomic)
+    SystemOp,    ///< int/syscall/cpuid/rdtsc
+    NumOpClasses ///< count sentinel, not a real class
+};
+
+/** Number of real opcode classes. */
+constexpr std::size_t kNumOpClasses =
+    static_cast<std::size_t>(OpClass::NumOpClasses);
+
+/** Static attributes of an opcode class. */
+struct OpInfo
+{
+    std::string_view name;  ///< mnemonic-like label
+    bool isLoad;            ///< reads memory
+    bool isStore;           ///< writes memory
+    bool isCondBranch;      ///< conditional control flow
+    bool isUncondCtrl;      ///< jmp/call/ret
+    std::uint8_t bytes;     ///< typical encoded size in bytes
+    std::uint8_t latency;   ///< typical execute latency in cycles
+};
+
+/** Attribute lookup for an opcode class. */
+const OpInfo &opInfo(OpClass op);
+
+/** Mnemonic-like name of an opcode class. */
+std::string_view opName(OpClass op);
+
+/** True for any instruction that may redirect control flow. */
+bool isControlFlow(OpClass op);
+
+/** True for any instruction that touches memory. */
+bool accessesMemory(OpClass op);
+
+/** OpClass from its numeric histogram index (panics if out of range). */
+OpClass opFromIndex(std::size_t index);
+
+} // namespace rhmd::trace
+
+#endif // RHMD_TRACE_ISA_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Branch predictor models (bimodal and gshare), supplying the
+ * branch-misprediction events of the Architectural feature family.
+ */
+
+#ifndef RHMD_UARCH_BRANCH_PREDICTOR_HH
+#define RHMD_UARCH_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rhmd::uarch
+{
+
+/** Interface for conditional-branch direction predictors. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(std::uint64_t pc) const = 0;
+
+    /** Train with the resolved direction. */
+    virtual void update(std::uint64_t pc, bool taken) = 0;
+
+    /** Clear all state. */
+    virtual void reset() = 0;
+};
+
+/**
+ * Bimodal predictor: a table of 2-bit saturating counters indexed by
+ * the low bits of the branch pc.
+ */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    /** @param table_bits log2 of the counter-table size. */
+    explicit BimodalPredictor(std::uint32_t table_bits = 12);
+
+    bool predict(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+    void reset() override;
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+
+    std::uint32_t tableBits_;
+    std::vector<std::uint8_t> counters_;
+};
+
+/**
+ * Gshare predictor: 2-bit counters indexed by pc xor global branch
+ * history.
+ */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param table_bits   log2 of the counter-table size.
+     * @param history_bits global-history length (<= table_bits).
+     */
+    explicit GsharePredictor(std::uint32_t table_bits = 12,
+                             std::uint32_t history_bits = 12);
+
+    bool predict(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+    void reset() override;
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+
+    std::uint32_t tableBits_;
+    std::uint32_t historyBits_;
+    std::uint64_t history_ = 0;
+    std::vector<std::uint8_t> counters_;
+};
+
+} // namespace rhmd::uarch
+
+#endif // RHMD_UARCH_BRANCH_PREDICTOR_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Set-associative LRU cache implementation.
+ */
+
+#include "uarch/cache.hh"
+
+#include <bit>
+
+#include "support/logging.hh"
+
+namespace rhmd::uarch
+{
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config)
+{
+    fatal_if(config_.lineBytes == 0 ||
+             !std::has_single_bit(config_.lineBytes),
+             "cache line size must be a power of two");
+    fatal_if(config_.assoc == 0, "cache associativity must be positive");
+    const std::uint32_t lines = config_.sizeBytes / config_.lineBytes;
+    fatal_if(lines == 0 || lines % config_.assoc != 0,
+             "cache size must be a multiple of assoc * line size");
+    numSets_ = lines / config_.assoc;
+    fatal_if(!std::has_single_bit(numSets_),
+             "cache set count must be a power of two");
+    lineShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(config_.lineBytes));
+    ways_.assign(static_cast<std::size_t>(numSets_) * config_.assoc, {});
+}
+
+bool
+Cache::accessLine(std::uint64_t addr)
+{
+    ++tick_;
+    const std::uint64_t line = addr >> lineShift_;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(line & (numSets_ - 1));
+    const std::uint64_t tag = line >> std::countr_zero(numSets_);
+
+    Way *base = &ways_[static_cast<std::size_t>(set) * config_.assoc];
+    Way *victim = base;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = tick_;
+            ++hits_;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = tick_;
+    return false;
+}
+
+std::uint32_t
+Cache::access(std::uint64_t addr, std::uint32_t size)
+{
+    if (size == 0)
+        size = 1;
+    const std::uint64_t first = addr >> lineShift_;
+    const std::uint64_t last = (addr + size - 1) >> lineShift_;
+    std::uint32_t line_misses = 0;
+    for (std::uint64_t line = first; line <= last; ++line) {
+        if (!accessLine(line << lineShift_))
+            ++line_misses;
+    }
+    return line_misses;
+}
+
+void
+Cache::reset()
+{
+    for (Way &way : ways_)
+        way = {};
+    tick_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace rhmd::uarch

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * Supplies the cache-miss events of the Architectural feature family
+ * (the paper collects these from the hardware performance-monitoring
+ * unit; we model the unit itself).
+ */
+
+#ifndef RHMD_UARCH_CACHE_HH
+#define RHMD_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rhmd::uarch
+{
+
+/** Geometry of a cache. */
+struct CacheConfig
+{
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 8;
+    std::uint32_t lineBytes = 64;
+};
+
+/**
+ * A single-level set-associative cache with true-LRU replacement.
+ * Tracks hit/miss counts; accesses spanning a line boundary touch
+ * every covered line (that is what makes unaligned accesses cost
+ * extra in the CPI model).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Access one line. @return true on hit; on miss the line is
+     * filled (allocate-on-miss for both reads and writes).
+     */
+    bool accessLine(std::uint64_t addr);
+
+    /**
+     * Access @p size bytes at @p addr, touching every covered line.
+     * @return number of misses among the covered lines.
+     */
+    std::uint32_t access(std::uint64_t addr, std::uint32_t size);
+
+    /** Invalidate all contents and zero statistics. */
+    void reset();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    const CacheConfig &config() const { return config_; }
+
+    /** Number of sets (derived from the geometry). */
+    std::uint32_t numSets() const { return numSets_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    CacheConfig config_;
+    std::uint32_t numSets_;
+    std::uint32_t lineShift_;
+    std::vector<Way> ways_;  ///< numSets_ * assoc, set-major
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace rhmd::uarch
+
+#endif // RHMD_UARCH_CACHE_HH

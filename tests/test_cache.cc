@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests of the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/cache.hh"
+
+namespace
+{
+
+using namespace rhmd::uarch;
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache({1024, 2, 64});
+    EXPECT_FALSE(cache.accessLine(0x1000));
+    EXPECT_TRUE(cache.accessLine(0x1000));
+    EXPECT_TRUE(cache.accessLine(0x1004));  // same line
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(Cache, GeometryDerivation)
+{
+    Cache cache({32 * 1024, 8, 64});
+    EXPECT_EQ(cache.numSets(), 64u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // Direct-mapped-ish: 2 ways, 1 set => size = 2 lines.
+    Cache cache({128, 2, 64});
+    EXPECT_EQ(cache.numSets(), 1u);
+    EXPECT_FALSE(cache.accessLine(0x0000));   // A miss
+    EXPECT_FALSE(cache.accessLine(0x1000));   // B miss
+    EXPECT_TRUE(cache.accessLine(0x0000));    // A hit (B is LRU)
+    EXPECT_FALSE(cache.accessLine(0x2000));   // C miss, evicts B
+    EXPECT_TRUE(cache.accessLine(0x0000));    // A still present
+    EXPECT_FALSE(cache.accessLine(0x1000));   // B was evicted
+}
+
+TEST(Cache, SetIndexingSeparatesLines)
+{
+    // 2 sets, 1 way each.
+    Cache cache({128, 1, 64});
+    EXPECT_EQ(cache.numSets(), 2u);
+    EXPECT_FALSE(cache.accessLine(0x000));  // set 0
+    EXPECT_FALSE(cache.accessLine(0x040));  // set 1
+    EXPECT_TRUE(cache.accessLine(0x000));   // both still resident
+    EXPECT_TRUE(cache.accessLine(0x040));
+}
+
+TEST(Cache, ConflictMissesInOneSet)
+{
+    Cache cache({128, 1, 64});
+    EXPECT_FALSE(cache.accessLine(0x000));
+    EXPECT_FALSE(cache.accessLine(0x080));  // same set, evicts
+    EXPECT_FALSE(cache.accessLine(0x000));  // miss again
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(Cache, UnalignedAccessTouchesTwoLines)
+{
+    Cache cache({1024, 2, 64});
+    // 8 bytes starting 4 bytes before a line boundary.
+    EXPECT_EQ(cache.access(0x103c, 8), 2u);  // both lines cold
+    EXPECT_EQ(cache.access(0x103c, 8), 0u);  // both now resident
+}
+
+TEST(Cache, AlignedAccessTouchesOneLine)
+{
+    Cache cache({1024, 2, 64});
+    EXPECT_EQ(cache.access(0x1000, 8), 1u);
+    EXPECT_EQ(cache.access(0x1008, 8), 0u);
+}
+
+TEST(Cache, ZeroSizeTreatedAsOneByte)
+{
+    Cache cache({1024, 2, 64});
+    EXPECT_EQ(cache.access(0x2000, 0), 1u);
+    EXPECT_EQ(cache.access(0x2000, 0), 0u);
+}
+
+TEST(Cache, ResetClearsContentsAndStats)
+{
+    Cache cache({1024, 2, 64});
+    cache.accessLine(0x3000);
+    cache.accessLine(0x3000);
+    cache.reset();
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_FALSE(cache.accessLine(0x3000));  // cold again
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes)
+{
+    Cache cache({4096, 4, 64});  // 64 lines
+    // Touch 128 distinct lines repeatedly: all misses after warmup
+    // under LRU with a cyclic pattern.
+    for (int round = 0; round < 3; ++round) {
+        for (std::uint64_t line = 0; line < 128; ++line)
+            cache.accessLine(line * 64);
+    }
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 3u * 128u);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheStaysResident)
+{
+    Cache cache({4096, 4, 64});  // 64 lines
+    for (int round = 0; round < 4; ++round) {
+        for (std::uint64_t line = 0; line < 32; ++line)
+            cache.accessLine(line * 64);
+    }
+    EXPECT_EQ(cache.misses(), 32u);            // cold only
+    EXPECT_EQ(cache.hits(), 3u * 32u);
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_EXIT(Cache({100, 2, 60}), ::testing::ExitedWithCode(1),
+                "power of two");
+    EXPECT_EXIT(Cache({1024, 0, 64}), ::testing::ExitedWithCode(1),
+                "associativity");
+    EXPECT_EXIT(Cache({96, 2, 32}), ::testing::ExitedWithCode(1),
+                "multiple");
+}
+
+/** Property sweep over geometries. */
+struct Geometry
+{
+    std::uint32_t size;
+    std::uint32_t assoc;
+    std::uint32_t line;
+};
+
+class CacheGeometrySweep : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(CacheGeometrySweep, SequentialScanMissesOncePerLine)
+{
+    const Geometry g = GetParam();
+    Cache cache({g.size, g.assoc, g.line});
+    const std::uint32_t lines = g.size / g.line;
+    // Scan exactly the cache's worth of lines, byte by byte.
+    for (std::uint64_t addr = 0;
+         addr < static_cast<std::uint64_t>(lines) * g.line; addr += 4) {
+        cache.access(addr, 4);
+    }
+    EXPECT_EQ(cache.misses(), lines);
+    // Second pass: everything resident.
+    const std::uint64_t misses_before = cache.misses();
+    for (std::uint64_t addr = 0;
+         addr < static_cast<std::uint64_t>(lines) * g.line; addr += 4) {
+        cache.access(addr, 4);
+    }
+    EXPECT_EQ(cache.misses(), misses_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometrySweep,
+    ::testing::Values(Geometry{1024, 1, 32}, Geometry{1024, 2, 64},
+                      Geometry{4096, 4, 64}, Geometry{32768, 8, 64},
+                      Geometry{8192, 8, 128}, Geometry{65536, 16, 64}));
+
+} // namespace

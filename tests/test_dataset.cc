@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests of datasets and standardization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.hh"
+
+namespace
+{
+
+using namespace rhmd;
+using namespace rhmd::ml;
+
+TEST(Dataset, AddAndQuery)
+{
+    Dataset data;
+    EXPECT_TRUE(data.empty());
+    data.add({1.0, 2.0}, 1);
+    data.add({3.0, 4.0}, 0);
+    EXPECT_EQ(data.size(), 2u);
+    EXPECT_EQ(data.dim(), 2u);
+    EXPECT_EQ(data.positives(), 1u);
+    data.validate();
+}
+
+TEST(Dataset, AppendMerges)
+{
+    Dataset a;
+    a.add({1.0}, 1);
+    Dataset b;
+    b.add({2.0}, 0);
+    b.add({3.0}, 1);
+    a.append(b);
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.positives(), 2u);
+}
+
+TEST(Dataset, ShuffledPreservesPairs)
+{
+    Dataset data;
+    for (int i = 0; i < 50; ++i)
+        data.add({static_cast<double>(i)}, i % 2);
+    Rng rng(4);
+    const Dataset shuffled = data.shuffled(rng);
+    ASSERT_EQ(shuffled.size(), 50u);
+    // Every (x, y) pair must survive: y == x mod 2 by construction.
+    for (std::size_t i = 0; i < shuffled.size(); ++i) {
+        EXPECT_EQ(shuffled.y[i],
+                  static_cast<int>(shuffled.x[i][0]) % 2);
+    }
+    // And the order must actually change.
+    bool moved = false;
+    for (std::size_t i = 0; i < shuffled.size(); ++i)
+        moved |= shuffled.x[i][0] != data.x[i][0];
+    EXPECT_TRUE(moved);
+}
+
+TEST(Standardizer, MeanZeroVarianceOne)
+{
+    Dataset data;
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i)
+        data.add({rng.gaussian(10.0, 3.0), rng.gaussian(-5.0, 0.1)},
+                 i % 2);
+    const Standardizer std_ = Standardizer::fit(data);
+    const Dataset z = std_.transform(data);
+
+    for (std::size_t j = 0; j < 2; ++j) {
+        double sum = 0.0;
+        double sumsq = 0.0;
+        for (const auto &row : z.x) {
+            sum += row[j];
+            sumsq += row[j] * row[j];
+        }
+        const double m = sum / static_cast<double>(z.size());
+        const double var = sumsq / static_cast<double>(z.size()) - m * m;
+        EXPECT_NEAR(m, 0.0, 1e-9);
+        EXPECT_NEAR(var, 1.0, 1e-6);
+    }
+}
+
+TEST(Standardizer, ConstantFeaturePassesThroughCentred)
+{
+    Dataset data;
+    data.add({7.0, 1.0}, 0);
+    data.add({7.0, 2.0}, 1);
+    const Standardizer std_ = Standardizer::fit(data);
+    EXPECT_EQ(std_.scale[0], 1.0);  // zero variance -> scale 1
+    const auto v = std_.apply({7.0, 1.5});
+    EXPECT_NEAR(v[0], 0.0, 1e-12);
+}
+
+TEST(Standardizer, ApplyMatchesManualFormula)
+{
+    Dataset data;
+    data.add({0.0}, 0);
+    data.add({10.0}, 1);
+    const Standardizer std_ = Standardizer::fit(data);
+    // mean 5, population sd 5.
+    const auto v = std_.apply({10.0});
+    EXPECT_NEAR(v[0], 1.0, 1e-12);
+}
+
+TEST(Standardizer, TransformKeepsLabels)
+{
+    Dataset data;
+    data.add({1.0}, 1);
+    data.add({2.0}, 0);
+    const Standardizer std_ = Standardizer::fit(data);
+    const Dataset z = std_.transform(data);
+    EXPECT_EQ(z.y, data.y);
+}
+
+} // namespace

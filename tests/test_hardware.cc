@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests of the analytic hardware cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hardware_model.hh"
+
+namespace
+{
+
+using namespace rhmd;
+using namespace rhmd::core;
+using features::FeatureKind;
+using features::FeatureSpec;
+
+FeatureSpec
+spec(FeatureKind kind, std::uint32_t period)
+{
+    FeatureSpec s;
+    s.kind = kind;
+    s.period = period;
+    return s;
+}
+
+std::vector<FeatureSpec>
+threeFeatureOnePeriod()
+{
+    return {spec(FeatureKind::Instructions, 10000),
+            spec(FeatureKind::Memory, 10000),
+            spec(FeatureKind::Architectural, 10000)};
+}
+
+TEST(Hardware, MatchesPaperCalibrationPoint)
+{
+    // The paper's FPGA prototype: three features, one period, on an
+    // AO486 core -> +1.72% area, +0.78% power. The model must land
+    // in that neighbourhood.
+    const HwEstimate est =
+        estimateHardware(threeFeatureOnePeriod(), "LR");
+    EXPECT_NEAR(est.areaOverheadPct, 1.72, 0.35);
+    EXPECT_NEAR(est.powerOverheadPct, 0.78, 0.35);
+}
+
+TEST(Hardware, ExtraPeriodsAreNearlyFree)
+{
+    // The paper: "having detectors operating on the same features
+    // with different period does not substantially increase the
+    // hardware complexity".
+    auto six = threeFeatureOnePeriod();
+    six.push_back(spec(FeatureKind::Instructions, 5000));
+    six.push_back(spec(FeatureKind::Memory, 5000));
+    six.push_back(spec(FeatureKind::Architectural, 5000));
+
+    const HwEstimate three =
+        estimateHardware(threeFeatureOnePeriod(), "LR");
+    const HwEstimate doubled = estimateHardware(six, "LR");
+    EXPECT_GT(doubled.logicElements, three.logicElements);
+    // Less than 15% more logic for twice the detectors.
+    EXPECT_LT(doubled.logicElements, three.logicElements * 1.15);
+    // But the weight storage doubles.
+    EXPECT_NEAR(doubled.sramBits, 2.0 * three.sramBits, 1.0);
+}
+
+TEST(Hardware, MoreFeaturesCostMore)
+{
+    const HwEstimate one = estimateHardware(
+        {spec(FeatureKind::Instructions, 10000)}, "LR");
+    const HwEstimate three =
+        estimateHardware(threeFeatureOnePeriod(), "LR");
+    EXPECT_GT(three.logicElements, one.logicElements);
+    EXPECT_GT(three.sramBits, one.sramBits);
+}
+
+TEST(Hardware, NnCostsMoreThanLr)
+{
+    const HwEstimate lr =
+        estimateHardware(threeFeatureOnePeriod(), "LR");
+    const HwEstimate nn =
+        estimateHardware(threeFeatureOnePeriod(), "NN");
+    EXPECT_GT(nn.logicElements, lr.logicElements);
+    // NN weight storage is quadratic in the feature dimension.
+    EXPECT_GT(nn.sramBits, 5.0 * lr.sramBits);
+}
+
+TEST(Hardware, PowerScalesWithLogicAndSram)
+{
+    const CoreBaseline baseline;
+    const HwEstimate est =
+        estimateHardware(threeFeatureOnePeriod(), "LR", baseline);
+    const double expected =
+        est.logicElements * baseline.powerPerLeMw +
+        est.sramBits / 1024.0 * baseline.powerPerSramKbitMw;
+    EXPECT_NEAR(est.powerMw, expected, 1e-9);
+}
+
+TEST(Hardware, OverheadsRelativeToBaseline)
+{
+    CoreBaseline big;
+    big.coreLogicElements = 300000.0;  // a 10x bigger host core
+    const HwEstimate small_core =
+        estimateHardware(threeFeatureOnePeriod(), "LR");
+    const HwEstimate big_core =
+        estimateHardware(threeFeatureOnePeriod(), "LR", big);
+    EXPECT_NEAR(big_core.areaOverheadPct,
+                small_core.areaOverheadPct / 10.0, 0.01);
+}
+
+TEST(Hardware, RejectsBadInput)
+{
+    EXPECT_EXIT(estimateHardware({}, "LR"),
+                ::testing::ExitedWithCode(1), "at least one spec");
+    EXPECT_EXIT(estimateHardware(threeFeatureOnePeriod(), "DT"),
+                ::testing::ExitedWithCode(1), "LR and NN");
+}
+
+TEST(Hardware, InstructionsSelectionWidthUsedWhenPinned)
+{
+    auto pinned = spec(FeatureKind::Instructions, 10000);
+    pinned.opcodeSel = {1, 2, 3, 4, 5, 6, 7, 8};  // dim 8
+    const HwEstimate small = estimateHardware({pinned}, "LR");
+    const HwEstimate dflt = estimateHardware(
+        {spec(FeatureKind::Instructions, 10000)}, "LR");
+    EXPECT_LT(small.sramBits, dflt.sramBits);
+}
+
+} // namespace

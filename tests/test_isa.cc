@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests of the abstract ISA table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/isa.hh"
+
+namespace
+{
+
+using namespace rhmd::trace;
+
+TEST(Isa, ClassCountMatchesSentinel)
+{
+    EXPECT_EQ(kNumOpClasses,
+              static_cast<std::size_t>(OpClass::NumOpClasses));
+    EXPECT_EQ(kNumOpClasses, 32u);
+}
+
+TEST(Isa, NamesAreUniqueAndNonEmpty)
+{
+    std::set<std::string_view> names;
+    for (std::size_t i = 0; i < kNumOpClasses; ++i) {
+        const auto name = opName(opFromIndex(i));
+        EXPECT_FALSE(name.empty());
+        EXPECT_TRUE(names.insert(name).second)
+            << "duplicate name " << name;
+    }
+}
+
+TEST(Isa, ControlFlowClassification)
+{
+    EXPECT_TRUE(isControlFlow(OpClass::BranchCond));
+    EXPECT_TRUE(isControlFlow(OpClass::BranchUncond));
+    EXPECT_TRUE(isControlFlow(OpClass::Call));
+    EXPECT_TRUE(isControlFlow(OpClass::Ret));
+    EXPECT_FALSE(isControlFlow(OpClass::IntAdd));
+    EXPECT_FALSE(isControlFlow(OpClass::Load));
+    // Syscalls resume at the next instruction; see isa.cc.
+    EXPECT_FALSE(isControlFlow(OpClass::SystemOp));
+}
+
+TEST(Isa, MemoryClassification)
+{
+    EXPECT_TRUE(accessesMemory(OpClass::Load));
+    EXPECT_TRUE(accessesMemory(OpClass::Store));
+    EXPECT_TRUE(accessesMemory(OpClass::Push));
+    EXPECT_TRUE(accessesMemory(OpClass::Pop));
+    EXPECT_TRUE(accessesMemory(OpClass::StringOp));
+    EXPECT_TRUE(accessesMemory(OpClass::Xchg));
+    EXPECT_FALSE(accessesMemory(OpClass::IntAdd));
+    EXPECT_FALSE(accessesMemory(OpClass::Nop));
+}
+
+TEST(Isa, StackOpsHaveExpectedDirections)
+{
+    EXPECT_FALSE(opInfo(OpClass::Push).isLoad);
+    EXPECT_TRUE(opInfo(OpClass::Push).isStore);
+    EXPECT_TRUE(opInfo(OpClass::Pop).isLoad);
+    EXPECT_FALSE(opInfo(OpClass::Pop).isStore);
+    // Calls push the return address; returns pop it.
+    EXPECT_TRUE(opInfo(OpClass::Call).isStore);
+    EXPECT_TRUE(opInfo(OpClass::Ret).isLoad);
+}
+
+TEST(Isa, RoundTripIndex)
+{
+    for (std::size_t i = 0; i < kNumOpClasses; ++i)
+        EXPECT_EQ(static_cast<std::size_t>(opFromIndex(i)), i);
+}
+
+/** Property sweep over every opcode class. */
+class IsaSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(IsaSweep, AttributesAreSane)
+{
+    const OpClass op = opFromIndex(GetParam());
+    const OpInfo &info = opInfo(op);
+    EXPECT_GE(info.bytes, 1);
+    EXPECT_LE(info.bytes, 15);  // max x86 instruction length
+    EXPECT_GE(info.latency, 1);
+    EXPECT_LE(info.latency, 64);
+    // Conditional and unconditional control flow are exclusive.
+    EXPECT_FALSE(info.isCondBranch && info.isUncondCtrl);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, IsaSweep,
+                         ::testing::Range<std::size_t>(0, kNumOpClasses));
+
+} // namespace

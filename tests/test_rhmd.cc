@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests of the resilient (randomized) detector pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/rhmd.hh"
+#include "support/stats.hh"
+
+namespace
+{
+
+using namespace rhmd;
+using namespace rhmd::core;
+
+const Experiment &
+sharedExperiment()
+{
+    static const Experiment exp = [] {
+        ExperimentConfig config;
+        config.benignCount = 60;
+        config.malwareCount = 120;
+        config.periods = {5000, 10000};
+        config.traceInsts = 100000;
+        config.seed = 91;
+        return Experiment::build(config);
+    }();
+    return exp;
+}
+
+std::vector<features::FeatureSpec>
+twoFeatureSpecs()
+{
+    features::FeatureSpec inst;
+    inst.kind = features::FeatureKind::Instructions;
+    inst.period = 10000;
+    features::FeatureSpec mem;
+    mem.kind = features::FeatureKind::Memory;
+    mem.period = 10000;
+    return {inst, mem};
+}
+
+std::unique_ptr<Rhmd>
+twoDetectorPool(std::uint64_t seed = 3)
+{
+    const Experiment &exp = sharedExperiment();
+    return buildRhmd("LR", twoFeatureSpecs(), exp.corpus(),
+                     exp.split().victimTrain, 16, seed);
+}
+
+TEST(Rhmd, PoolBasics)
+{
+    const auto pool = twoDetectorPool();
+    EXPECT_EQ(pool->poolSize(), 2u);
+    EXPECT_EQ(pool->decisionPeriod(), 10000u);
+    EXPECT_NEAR(pool->policy()[0], 0.5, 1e-12);
+    EXPECT_NEAR(pool->policy()[1], 0.5, 1e-12);
+}
+
+TEST(Rhmd, MixedPeriodEpochIsMaxPeriod)
+{
+    const Experiment &exp = sharedExperiment();
+    features::FeatureSpec inst5;
+    inst5.kind = features::FeatureKind::Instructions;
+    inst5.period = 5000;
+    features::FeatureSpec mem10;
+    mem10.kind = features::FeatureKind::Memory;
+    mem10.period = 10000;
+    const auto pool = buildRhmd("LR", {inst5, mem10}, exp.corpus(),
+                                exp.split().victimTrain, 16, 4);
+    EXPECT_EQ(pool->decisionPeriod(), 10000u);
+    // Decisions per program = number of 10K epochs.
+    const auto &prog = exp.corpus().programs[0];
+    EXPECT_EQ(pool->decide(prog).size(), prog.windows(10000).size());
+}
+
+TEST(Rhmd, SelectionIsUniformChiSquared)
+{
+    const Experiment &exp = sharedExperiment();
+    auto pool = twoDetectorPool(7);
+    for (std::size_t i = 0; i < exp.corpus().programs.size(); ++i)
+        pool->decide(exp.corpus().programs[i]);
+    const auto &counts = pool->selectionCounts();
+    const std::size_t total = counts[0] + counts[1];
+    ASSERT_GT(total, 200u);
+    // Chi-squared with 1 dof: 10.8 is the 0.1% critical value.
+    EXPECT_LT(chiSquared(counts, pool->policy()), 10.8);
+}
+
+TEST(Rhmd, NonUniformPolicyRespected)
+{
+    const Experiment &exp = sharedExperiment();
+    auto detectors = [&] {
+        std::vector<std::unique_ptr<Hmd>> pool;
+        for (const auto &spec : twoFeatureSpecs()) {
+            HmdConfig config;
+            config.algorithm = "LR";
+            config.specs = {spec};
+            auto det = std::make_unique<Hmd>(config);
+            det->trainOnPrograms(exp.corpus(), exp.split().victimTrain);
+            pool.push_back(std::move(det));
+        }
+        return pool;
+    }();
+    Rhmd pool(std::move(detectors), {0.9, 0.1}, 11);
+    for (const auto &prog : exp.corpus().programs)
+        pool.decide(prog);
+    const auto &counts = pool.selectionCounts();
+    const double frac = static_cast<double>(counts[0]) /
+                        static_cast<double>(counts[0] + counts[1]);
+    EXPECT_NEAR(frac, 0.9, 0.05);
+}
+
+TEST(Rhmd, DecisionsComeFromPoolMembers)
+{
+    // With a single-detector "pool", decisions must exactly match
+    // that detector's own decisions.
+    const Experiment &exp = sharedExperiment();
+    features::FeatureSpec inst;
+    inst.kind = features::FeatureKind::Instructions;
+    inst.period = 10000;
+    auto pool = buildRhmd("LR", {inst}, exp.corpus(),
+                          exp.split().victimTrain, 16, 5);
+    ASSERT_EQ(pool->poolSize(), 1u);
+    Hmd &only = *pool->detectors()[0];
+    for (std::size_t i = 0; i < 5; ++i) {
+        const auto &prog = exp.corpus().programs[i];
+        EXPECT_EQ(pool->decide(prog), only.decide(prog));
+    }
+}
+
+TEST(Rhmd, ReseedReproducesDecisionSequence)
+{
+    const Experiment &exp = sharedExperiment();
+    auto pool = twoDetectorPool(13);
+    const auto &prog = exp.corpus().programs[1];
+    pool->reseed(42);
+    const auto a = pool->decide(prog);
+    pool->reseed(42);
+    const auto b = pool->decide(prog);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rhmd, PoolDetectsMalware)
+{
+    const Experiment &exp = sharedExperiment();
+    auto pool = twoDetectorPool(17);
+    const auto test_mal = exp.malwareOf(exp.split().attackerTest);
+    const auto test_ben = exp.benignOf(exp.split().attackerTest);
+    const double sens = exp.detectionRateOn(*pool, test_mal);
+    const double fpr = exp.detectionRateOn(*pool, test_ben);
+    EXPECT_GT(sens, fpr + 0.2);
+}
+
+TEST(Rhmd, ValidatesConstruction)
+{
+    EXPECT_EXIT(Rhmd({}, {}, 1), ::testing::ExitedWithCode(1),
+                "at least one detector");
+
+    const Experiment &exp = sharedExperiment();
+    auto make_trained = [&] {
+        HmdConfig config;
+        config.algorithm = "LR";
+        config.specs = twoFeatureSpecs();
+        config.specs.resize(1);
+        auto det = std::make_unique<Hmd>(config);
+        det->trainOnPrograms(exp.corpus(), exp.split().victimTrain);
+        return det;
+    };
+
+    {
+        std::vector<std::unique_ptr<Hmd>> dets;
+        dets.push_back(make_trained());
+        EXPECT_EXIT(Rhmd(std::move(dets), {0.5, 0.5}, 1),
+                    ::testing::ExitedWithCode(1), "policy size");
+    }
+    {
+        std::vector<std::unique_ptr<Hmd>> dets;
+        dets.push_back(make_trained());
+        EXPECT_EXIT(Rhmd(std::move(dets), {0.7}, 1),
+                    ::testing::ExitedWithCode(1), "sum to 1");
+    }
+    {
+        // Untrained detector is rejected.
+        HmdConfig config;
+        config.algorithm = "LR";
+        config.specs = twoFeatureSpecs();
+        config.specs.resize(1);
+        std::vector<std::unique_ptr<Hmd>> dets;
+        dets.push_back(std::make_unique<Hmd>(config));
+        EXPECT_EXIT(Rhmd(std::move(dets), {}, 1),
+                    ::testing::ExitedWithCode(1), "trained");
+    }
+}
+
+TEST(Rhmd, RejectsNonDividingPeriods)
+{
+    // 5000 and 10000 are fine; fabricate 5000+10000 pool where epoch
+    // check passes, then check a bad combination via a tiny corpus
+    // with period 3000... simpler: directly build detectors at 5000
+    // and 10000 (ok), then at 5000-only pool (ok). A failing case
+    // needs periods {4000, 10000}: 10000 % 4000 != 0.
+    ExperimentConfig config;
+    config.benignCount = 6;
+    config.malwareCount = 6;
+    config.periods = {4000, 10000};
+    config.traceInsts = 40000;
+    config.seed = 17;
+    const Experiment small = Experiment::build(config);
+
+    features::FeatureSpec a;
+    a.kind = features::FeatureKind::Instructions;
+    a.period = 4000;
+    features::FeatureSpec b;
+    b.kind = features::FeatureKind::Memory;
+    b.period = 10000;
+    EXPECT_EXIT(buildRhmd("LR", {a, b}, small.corpus(),
+                          small.split().victimTrain, 16, 3),
+                ::testing::ExitedWithCode(1), "does not divide");
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests of the classifier factory and model serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ml/decision_tree.hh"
+#include "ml/logistic_regression.hh"
+#include "ml/metrics.hh"
+#include "ml/mlp.hh"
+#include "ml/serialize.hh"
+#include "ml/svm.hh"
+
+namespace
+{
+
+using namespace rhmd;
+using namespace rhmd::ml;
+
+TEST(Factory, MakesEveryAlgorithm)
+{
+    EXPECT_EQ(makeClassifier("LR")->name(), "LR");
+    EXPECT_EQ(makeClassifier("NN")->name(), "NN");
+    EXPECT_EQ(makeClassifier("DT")->name(), "DT");
+    EXPECT_EQ(makeClassifier("SVM")->name(), "SVM");
+    EXPECT_EQ(makeClassifier("RF")->name(), "RF");
+}
+
+TEST(Factory, RejectsUnknownName)
+{
+    EXPECT_EXIT(makeClassifier("GBM"), ::testing::ExitedWithCode(1),
+                "unknown classifier");
+}
+
+TEST(Serialize, LrRoundTrip)
+{
+    LogisticRegression lr;
+    lr.setParams({0.5, -1.25, 3.0}, 0.75);
+    std::stringstream stream;
+    saveModel(lr, stream);
+    const auto loaded = loadModel(stream);
+    EXPECT_EQ(loaded->name(), "LR");
+    for (const auto &x : {std::vector<double>{1.0, 2.0, 3.0},
+                          std::vector<double>{-1.0, 0.5, 0.0}}) {
+        EXPECT_DOUBLE_EQ(loaded->score(x), lr.score(x));
+    }
+}
+
+TEST(Serialize, SvmRoundTrip)
+{
+    LinearSvm svm;
+    svm.setParams({1.5, -0.5}, -0.25);
+    std::stringstream stream;
+    saveModel(svm, stream);
+    const auto loaded = loadModel(stream);
+    EXPECT_EQ(loaded->name(), "SVM");
+    EXPECT_DOUBLE_EQ(loaded->score({2.0, 1.0}), svm.score({2.0, 1.0}));
+}
+
+TEST(Serialize, MlpRoundTrip)
+{
+    Mlp nn;
+    nn.setParams({{0.1, 0.2}, {0.3, -0.4}, {-0.5, 0.6}},
+                 {0.01, 0.02, 0.03}, {1.0, -1.0, 0.5}, -0.1);
+    std::stringstream stream;
+    saveModel(nn, stream);
+    const auto loaded = loadModel(stream);
+    EXPECT_EQ(loaded->name(), "NN");
+    for (double x = -1.0; x <= 1.0; x += 0.4) {
+        EXPECT_NEAR(loaded->score({x, -x}), nn.score({x, -x}), 1e-9);
+    }
+}
+
+TEST(Serialize, TrainedModelRoundTripPreservesAuc)
+{
+    Rng gen(50);
+    Dataset data;
+    for (int i = 0; i < 300; ++i) {
+        const bool pos = i % 2 == 0;
+        data.add({gen.gaussian(pos ? 1.0 : -1.0, 1.0)}, pos ? 1 : 0);
+    }
+    LogisticRegression lr;
+    Rng rng(1);
+    lr.train(data, rng);
+
+    std::stringstream stream;
+    saveModel(lr, stream);
+    const auto loaded = loadModel(stream);
+
+    std::vector<double> orig;
+    std::vector<double> round;
+    for (const auto &x : data.x) {
+        orig.push_back(lr.score(x));
+        round.push_back(loaded->score(x));
+    }
+    EXPECT_DOUBLE_EQ(auc(orig, data.y), auc(round, data.y));
+}
+
+TEST(Serialize, DtIsNotSerializable)
+{
+    DecisionTree tree;
+    std::stringstream stream;
+    EXPECT_EXIT(saveModel(tree, stream), ::testing::ExitedWithCode(1),
+                "does not support");
+}
+
+TEST(Serialize, CorruptStreamIsFatal)
+{
+    std::stringstream stream("GARBAGE 1 2 3");
+    EXPECT_EXIT(loadModel(stream), ::testing::ExitedWithCode(1),
+                "unknown model kind");
+    std::stringstream truncated("LR\n3 0.5 0.25");
+    EXPECT_EXIT(loadModel(truncated), ::testing::ExitedWithCode(1),
+                "short vector");
+}
+
+} // namespace
