@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ensemble.dir/bench_ablation_ensemble.cc.o"
+  "CMakeFiles/bench_ablation_ensemble.dir/bench_ablation_ensemble.cc.o.d"
+  "bench_ablation_ensemble"
+  "bench_ablation_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

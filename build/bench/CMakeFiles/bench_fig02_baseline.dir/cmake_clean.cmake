@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_baseline.dir/bench_fig02_baseline.cc.o"
+  "CMakeFiles/bench_fig02_baseline.dir/bench_fig02_baseline.cc.o.d"
+  "bench_fig02_baseline"
+  "bench_fig02_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_reveng_config.dir/bench_fig03_reveng_config.cc.o"
+  "CMakeFiles/bench_fig03_reveng_config.dir/bench_fig03_reveng_config.cc.o.d"
+  "bench_fig03_reveng_config"
+  "bench_fig03_reveng_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_reveng_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

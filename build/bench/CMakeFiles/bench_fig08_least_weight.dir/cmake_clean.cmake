@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_least_weight.dir/bench_fig08_least_weight.cc.o"
+  "CMakeFiles/bench_fig08_least_weight.dir/bench_fig08_least_weight.cc.o.d"
+  "bench_fig08_least_weight"
+  "bench_fig08_least_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_least_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_retraining.dir/bench_fig11_retraining.cc.o"
+  "CMakeFiles/bench_fig11_retraining.dir/bench_fig11_retraining.cc.o.d"
+  "bench_fig11_retraining"
+  "bench_fig11_retraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_retraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_generations.dir/bench_fig13_generations.cc.o"
+  "CMakeFiles/bench_fig13_generations.dir/bench_fig13_generations.cc.o.d"
+  "bench_fig13_generations"
+  "bench_fig13_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_rhmd_reveng.dir/bench_fig14_rhmd_reveng.cc.o"
+  "CMakeFiles/bench_fig14_rhmd_reveng.dir/bench_fig14_rhmd_reveng.cc.o.d"
+  "bench_fig14_rhmd_reveng"
+  "bench_fig14_rhmd_reveng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_rhmd_reveng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

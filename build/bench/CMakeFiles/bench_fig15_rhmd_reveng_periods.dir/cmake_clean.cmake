@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_rhmd_reveng_periods.dir/bench_fig15_rhmd_reveng_periods.cc.o"
+  "CMakeFiles/bench_fig15_rhmd_reveng_periods.dir/bench_fig15_rhmd_reveng_periods.cc.o.d"
+  "bench_fig15_rhmd_reveng_periods"
+  "bench_fig15_rhmd_reveng_periods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_rhmd_reveng_periods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

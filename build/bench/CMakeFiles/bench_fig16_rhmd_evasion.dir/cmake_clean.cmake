@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_rhmd_evasion.dir/bench_fig16_rhmd_evasion.cc.o"
+  "CMakeFiles/bench_fig16_rhmd_evasion.dir/bench_fig16_rhmd_evasion.cc.o.d"
+  "bench_fig16_rhmd_evasion"
+  "bench_fig16_rhmd_evasion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_rhmd_evasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec83_known_config.dir/bench_sec83_known_config.cc.o"
+  "CMakeFiles/bench_sec83_known_config.dir/bench_sec83_known_config.cc.o.d"
+  "bench_sec83_known_config"
+  "bench_sec83_known_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec83_known_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_deployment.dir/resilient_deployment.cpp.o"
+  "CMakeFiles/resilient_deployment.dir/resilient_deployment.cpp.o.d"
+  "resilient_deployment"
+  "resilient_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

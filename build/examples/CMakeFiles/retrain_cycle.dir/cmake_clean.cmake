@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retrain_cycle.dir/retrain_cycle.cpp.o"
+  "CMakeFiles/retrain_cycle.dir/retrain_cycle.cpp.o.d"
+  "retrain_cycle"
+  "retrain_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retrain_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ensemble.cc" "src/CMakeFiles/rhmd.dir/core/ensemble.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/core/ensemble.cc.o.d"
+  "/root/repo/src/core/evasion.cc" "src/CMakeFiles/rhmd.dir/core/evasion.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/core/evasion.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/rhmd.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/hardware_model.cc" "src/CMakeFiles/rhmd.dir/core/hardware_model.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/core/hardware_model.cc.o.d"
+  "/root/repo/src/core/hmd.cc" "src/CMakeFiles/rhmd.dir/core/hmd.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/core/hmd.cc.o.d"
+  "/root/repo/src/core/pac.cc" "src/CMakeFiles/rhmd.dir/core/pac.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/core/pac.cc.o.d"
+  "/root/repo/src/core/retrainer.cc" "src/CMakeFiles/rhmd.dir/core/retrainer.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/core/retrainer.cc.o.d"
+  "/root/repo/src/core/reverse_engineer.cc" "src/CMakeFiles/rhmd.dir/core/reverse_engineer.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/core/reverse_engineer.cc.o.d"
+  "/root/repo/src/core/rhmd.cc" "src/CMakeFiles/rhmd.dir/core/rhmd.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/core/rhmd.cc.o.d"
+  "/root/repo/src/features/corpus.cc" "src/CMakeFiles/rhmd.dir/features/corpus.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/features/corpus.cc.o.d"
+  "/root/repo/src/features/extractor.cc" "src/CMakeFiles/rhmd.dir/features/extractor.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/features/extractor.cc.o.d"
+  "/root/repo/src/features/spec.cc" "src/CMakeFiles/rhmd.dir/features/spec.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/features/spec.cc.o.d"
+  "/root/repo/src/features/window.cc" "src/CMakeFiles/rhmd.dir/features/window.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/features/window.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/CMakeFiles/rhmd.dir/ml/dataset.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/ml/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/rhmd.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/CMakeFiles/rhmd.dir/ml/logistic_regression.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/rhmd.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/CMakeFiles/rhmd.dir/ml/mlp.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/ml/mlp.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/rhmd.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/ml/serialize.cc" "src/CMakeFiles/rhmd.dir/ml/serialize.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/ml/serialize.cc.o.d"
+  "/root/repo/src/ml/svm.cc" "src/CMakeFiles/rhmd.dir/ml/svm.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/ml/svm.cc.o.d"
+  "/root/repo/src/support/csv.cc" "src/CMakeFiles/rhmd.dir/support/csv.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/support/csv.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/CMakeFiles/rhmd.dir/support/logging.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/support/logging.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/CMakeFiles/rhmd.dir/support/rng.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/support/rng.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/CMakeFiles/rhmd.dir/support/stats.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/support/stats.cc.o.d"
+  "/root/repo/src/support/table.cc" "src/CMakeFiles/rhmd.dir/support/table.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/support/table.cc.o.d"
+  "/root/repo/src/trace/basic_block.cc" "src/CMakeFiles/rhmd.dir/trace/basic_block.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/trace/basic_block.cc.o.d"
+  "/root/repo/src/trace/dcfg.cc" "src/CMakeFiles/rhmd.dir/trace/dcfg.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/trace/dcfg.cc.o.d"
+  "/root/repo/src/trace/execution.cc" "src/CMakeFiles/rhmd.dir/trace/execution.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/trace/execution.cc.o.d"
+  "/root/repo/src/trace/generator.cc" "src/CMakeFiles/rhmd.dir/trace/generator.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/trace/generator.cc.o.d"
+  "/root/repo/src/trace/injection.cc" "src/CMakeFiles/rhmd.dir/trace/injection.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/trace/injection.cc.o.d"
+  "/root/repo/src/trace/isa.cc" "src/CMakeFiles/rhmd.dir/trace/isa.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/trace/isa.cc.o.d"
+  "/root/repo/src/trace/profiles.cc" "src/CMakeFiles/rhmd.dir/trace/profiles.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/trace/profiles.cc.o.d"
+  "/root/repo/src/trace/program.cc" "src/CMakeFiles/rhmd.dir/trace/program.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/trace/program.cc.o.d"
+  "/root/repo/src/uarch/branch_predictor.cc" "src/CMakeFiles/rhmd.dir/uarch/branch_predictor.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/uarch/branch_predictor.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/CMakeFiles/rhmd.dir/uarch/cache.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/uarch/cache.cc.o.d"
+  "/root/repo/src/uarch/cpi_model.cc" "src/CMakeFiles/rhmd.dir/uarch/cpi_model.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/uarch/cpi_model.cc.o.d"
+  "/root/repo/src/uarch/perf_counters.cc" "src/CMakeFiles/rhmd.dir/uarch/perf_counters.cc.o" "gcc" "src/CMakeFiles/rhmd.dir/uarch/perf_counters.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpi.dir/test_cpi.cc.o"
+  "CMakeFiles/test_cpi.dir/test_cpi.cc.o.d"
+  "test_cpi"
+  "test_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcfg.dir/test_dcfg.cc.o"
+  "CMakeFiles/test_dcfg.dir/test_dcfg.cc.o.d"
+  "test_dcfg"
+  "test_dcfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

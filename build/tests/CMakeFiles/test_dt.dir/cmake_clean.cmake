@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dt.dir/test_dt.cc.o"
+  "CMakeFiles/test_dt.dir/test_dt.cc.o.d"
+  "test_dt"
+  "test_dt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

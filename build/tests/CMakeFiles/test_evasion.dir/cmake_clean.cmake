@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evasion.dir/test_evasion.cc.o"
+  "CMakeFiles/test_evasion.dir/test_evasion.cc.o.d"
+  "test_evasion"
+  "test_evasion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hardware.dir/test_hardware.cc.o"
+  "CMakeFiles/test_hardware.dir/test_hardware.cc.o.d"
+  "test_hardware"
+  "test_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmd.dir/test_hmd.cc.o"
+  "CMakeFiles/test_hmd.dir/test_hmd.cc.o.d"
+  "test_hmd"
+  "test_hmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hmd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lr.dir/test_lr.cc.o"
+  "CMakeFiles/test_lr.dir/test_lr.cc.o.d"
+  "test_lr"
+  "test_lr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pac.dir/test_pac.cc.o"
+  "CMakeFiles/test_pac.dir/test_pac.cc.o.d"
+  "test_pac"
+  "test_pac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rhmd.dir/test_rhmd.cc.o"
+  "CMakeFiles/test_rhmd.dir/test_rhmd.cc.o.d"
+  "test_rhmd"
+  "test_rhmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rhmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
