@@ -13,41 +13,86 @@
 namespace rhmd::core
 {
 
+support::Status
+validatePolicy(std::vector<double> &policy, std::size_t n_detectors)
+{
+    if (n_detectors == 0)
+        return support::invalidArgumentError(
+            "policy needs at least one detector");
+    if (policy.empty()) {
+        policy.assign(n_detectors,
+                      1.0 / static_cast<double>(n_detectors));
+        return {};
+    }
+    if (policy.size() != n_detectors) {
+        return support::invalidArgumentError(
+            "policy size must match the detector count (got ",
+            policy.size(), " probabilities for ", n_detectors,
+            " detectors)");
+    }
+    double total = 0.0;
+    for (double p : policy) {
+        if (!std::isfinite(p))
+            return support::invalidArgumentError(
+                "policy probabilities must be finite");
+        if (p < 0.0)
+            return support::invalidArgumentError(
+                "policy probabilities must be non-negative");
+        total += p;
+    }
+    // 1e-6 tolerance absorbs float round-off in user-computed
+    // policies (e.g. 1.0/3 three times); renormalize so downstream
+    // sampling sees an exact distribution.
+    if (std::abs(total - 1.0) > 1e-6)
+        return support::invalidArgumentError(
+            "policy must sum to 1 (got ", total, ")");
+    for (double &p : policy)
+        p /= total;
+    return {};
+}
+
+support::Status
+validateDetectorPool(const std::vector<std::unique_ptr<Hmd>> &detectors)
+{
+    if (detectors.empty())
+        return support::invalidArgumentError(
+            "pool needs at least one detector");
+    std::uint32_t epoch = 0;
+    for (const auto &det : detectors) {
+        if (det == nullptr)
+            return support::invalidArgumentError(
+                "pool received a null detector");
+        if (!det->trained())
+            return support::failedPreconditionError(
+                "pool detectors must be trained before pooling");
+        epoch = std::max(epoch, det->decisionPeriod());
+    }
+    // Epoch alignment: every base period must divide the longest one
+    // so precollected windows line up with epoch boundaries.
+    for (const auto &det : detectors) {
+        if (epoch % det->decisionPeriod() != 0)
+            return support::invalidArgumentError(
+                "base period ", det->decisionPeriod(),
+                " does not divide the epoch length ", epoch);
+    }
+    return {};
+}
+
 Rhmd::Rhmd(std::vector<std::unique_ptr<Hmd>> detectors,
            std::vector<double> policy, std::uint64_t seed)
     : detectors_(std::move(detectors)), policy_(std::move(policy)),
       rng_(seed)
 {
     fatal_if(detectors_.empty(), "Rhmd needs at least one detector");
-    for (const auto &det : detectors_) {
-        fatal_if(det == nullptr, "Rhmd received a null detector");
-        fatal_if(!det->trained(),
-                 "Rhmd detectors must be trained before pooling");
-    }
+    const support::Status pool_ok = validateDetectorPool(detectors_);
+    fatal_if(!pool_ok.isOk(), "Rhmd ", pool_ok.message());
+    const support::Status policy_ok =
+        validatePolicy(policy_, detectors_.size());
+    fatal_if(!policy_ok.isOk(), policy_ok.message());
 
-    if (policy_.empty()) {
-        policy_.assign(detectors_.size(),
-                       1.0 / static_cast<double>(detectors_.size()));
-    }
-    fatal_if(policy_.size() != detectors_.size(),
-             "policy size must match the detector count");
-    double total = 0.0;
-    for (double p : policy_) {
-        fatal_if(p < 0.0, "policy probabilities must be non-negative");
-        total += p;
-    }
-    fatal_if(std::abs(total - 1.0) > 1e-9, "policy must sum to 1");
-
-    // Epoch alignment: every base period must divide the longest one
-    // so precollected windows line up with epoch boundaries.
     epoch_ = 0;
     for (const auto &det : detectors_)
         epoch_ = std::max(epoch_, det->decisionPeriod());
-    for (const auto &det : detectors_) {
-        fatal_if(epoch_ % det->decisionPeriod() != 0,
-                 "base period ", det->decisionPeriod(),
-                 " does not divide the epoch length ", epoch_);
-    }
 
     selectionCounts_.assign(detectors_.size(), 0);
 }
@@ -176,6 +221,21 @@ buildRhmd(const std::string &algorithm,
     }
     return std::make_unique<Rhmd>(std::move(pool),
                                   std::vector<double>{}, seed ^ 0xabcdef);
+}
+
+support::StatusOr<std::unique_ptr<Rhmd>>
+tryMakeRhmd(std::vector<std::unique_ptr<Hmd>> detectors,
+            std::vector<double> policy, std::uint64_t seed)
+{
+    const support::Status pool_ok = validateDetectorPool(detectors);
+    if (!pool_ok.isOk())
+        return pool_ok;
+    const support::Status policy_ok =
+        validatePolicy(policy, detectors.size());
+    if (!policy_ok.isOk())
+        return policy_ok;
+    return std::make_unique<Rhmd>(std::move(detectors),
+                                  std::move(policy), seed);
 }
 
 } // namespace rhmd::core

@@ -14,9 +14,27 @@
 
 #include "core/hmd.hh"
 #include "support/rng.hh"
+#include "support/status.hh"
 
 namespace rhmd::core
 {
+
+/**
+ * Validate and normalize a switching policy in place for a pool of
+ * @p n_detectors. An empty policy becomes uniform. Entries must be
+ * finite and non-negative, and the sum must be within 1e-6 of 1;
+ * a passing policy is renormalized to sum to exactly 1, so
+ * user-computed policies (e.g. three times 1.0/3) are accepted.
+ */
+support::Status validatePolicy(std::vector<double> &policy,
+                               std::size_t n_detectors);
+
+/**
+ * Validate a detector pool: non-empty, no nulls, all trained, and
+ * every base period divides the epoch (the longest period).
+ */
+support::Status
+validateDetectorPool(const std::vector<std::unique_ptr<Hmd>> &detectors);
 
 /**
  * Randomized detector pool.
@@ -88,6 +106,17 @@ std::unique_ptr<Rhmd> buildRhmd(
     const features::FeatureCorpus &corpus,
     const std::vector<std::size_t> &train_idx, std::size_t opcode_top_k,
     std::uint64_t seed);
+
+/**
+ * Recoverable Rhmd construction: returns an error Status instead of
+ * exiting when the pool or policy is invalid, so deployment code
+ * (which may receive a policy from configuration) can degrade
+ * gracefully. On success the detectors have been consumed; on error
+ * they are destroyed with the returned status describing the problem.
+ */
+support::StatusOr<std::unique_ptr<Rhmd>>
+tryMakeRhmd(std::vector<std::unique_ptr<Hmd>> detectors,
+            std::vector<double> policy, std::uint64_t seed);
 
 /**
  * The paper's Sec. 8.3 future-work design: a *non-stationary* RHMD.

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Fault injector implementation.
+ */
+
+#include "runtime/fault_injection.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace rhmd::runtime
+{
+
+FaultInjector::FaultInjector(const FaultConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    fatal_if(config_.counterNoiseSigma < 0.0,
+             "counter noise sigma must be non-negative");
+    for (double p : {config_.stuckCounterProb, config_.dropWindowProb,
+                     config_.truncateWindowProb,
+                     config_.transientReadFailProb,
+                     config_.scoreNanProb, config_.byteFlipRate}) {
+        fatal_if(p < 0.0 || p > 1.0,
+                 "fault probabilities must be in [0, 1]");
+    }
+    fatal_if(config_.truncateFrac <= 0.0 || config_.truncateFrac > 1.0,
+             "truncate fraction must be in (0, 1]");
+}
+
+std::uint64_t
+FaultInjector::perturbCount(std::uint64_t value)
+{
+    double x = static_cast<double>(value);
+    if (config_.counterNoiseSigma > 0.0)
+        x *= 1.0 + rng_.gaussian(0.0, config_.counterNoiseSigma);
+    x = std::max(x, 0.0);
+    auto result = static_cast<std::uint64_t>(std::llround(x));
+    if (config_.quantizeStep > 1)
+        result -= result % config_.quantizeStep;
+    return result;
+}
+
+void
+FaultInjector::perturbCounts(uarch::EventCounts &events)
+{
+    for (std::uint64_t &count : events)
+        count = perturbCount(count);
+    if (!stuck_ && config_.stuckCounterProb > 0.0 &&
+        rng_.chance(config_.stuckCounterProb)) {
+        const std::size_t which = rng_.below(uarch::kNumEvents);
+        stuck_ = {which, events[which]};
+    }
+    if (stuck_)
+        events[stuck_->first] = stuck_->second;
+}
+
+WindowFault
+FaultInjector::perturbWindow(features::RawWindow &window)
+{
+    if (config_.dropWindowProb > 0.0 &&
+        rng_.chance(config_.dropWindowProb))
+        return WindowFault::Dropped;
+
+    WindowFault fault = WindowFault::None;
+    if (config_.truncateWindowProb > 0.0 &&
+        rng_.chance(config_.truncateWindowProb)) {
+        // Partial collection: only the leading fraction of the
+        // window was gathered before the counters were reaped.
+        fault = WindowFault::Truncated;
+        const double keep = config_.truncateFrac;
+        for (auto &count : window.opcodeCounts)
+            count = static_cast<std::uint32_t>(count * keep);
+        for (auto &count : window.memDeltaBins)
+            count = static_cast<std::uint32_t>(count * keep);
+        for (auto &count : window.events)
+            count = static_cast<std::uint64_t>(
+                static_cast<double>(count) * keep);
+        window.instCount =
+            static_cast<std::uint64_t>(window.instCount * keep);
+        window.cycles *= keep;
+    }
+
+    if (config_.counterNoiseSigma > 0.0 || config_.quantizeStep > 1 ||
+        config_.stuckCounterProb > 0.0) {
+        for (auto &count : window.opcodeCounts)
+            count = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(perturbCount(count),
+                                        std::numeric_limits<
+                                            std::uint32_t>::max()));
+        for (auto &count : window.memDeltaBins)
+            count = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(perturbCount(count),
+                                        std::numeric_limits<
+                                            std::uint32_t>::max()));
+        perturbCounts(window.events);
+    }
+    return fault;
+}
+
+bool
+FaultInjector::transientReadFailure()
+{
+    return config_.transientReadFailProb > 0.0 &&
+           rng_.chance(config_.transientReadFailProb);
+}
+
+double
+FaultInjector::perturbScore(std::size_t detector, double score)
+{
+    const auto &broken = config_.brokenDetectors;
+    if (std::find(broken.begin(), broken.end(), detector) !=
+        broken.end())
+        return std::numeric_limits<double>::quiet_NaN();
+    if (config_.scoreNanProb > 0.0 && rng_.chance(config_.scoreNanProb))
+        return std::numeric_limits<double>::quiet_NaN();
+    return score;
+}
+
+std::string
+FaultInjector::corruptText(const std::string &text)
+{
+    std::string out = text;
+    for (char &c : out) {
+        if (config_.byteFlipRate > 0.0 &&
+            rng_.chance(config_.byteFlipRate)) {
+            // Printable garbage, so corrupt model files stay
+            // greppable in bug reports.
+            c = static_cast<char>('!' + rng_.below(94));
+        }
+    }
+    return out;
+}
+
+uarch::CounterReadHook
+FaultInjector::counterHook()
+{
+    // Shares this injector's RNG and stuck-counter state; the
+    // injector must outlive the monitor the hook is installed on.
+    return [this](uarch::EventCounts &events) {
+        perturbCounts(events);
+    };
+}
+
+} // namespace rhmd::runtime

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the sensor and model
+ * paths of a deployed detector.
+ *
+ * A deployed HMD does not see the clean-lab feature stream: counter
+ * reads are noisy and quantized, counters get stuck, windows are
+ * dropped or truncated when the collection logic is preempted, and
+ * model bytes can be corrupted in storage or transit. This layer
+ * models those faults as seeded, per-experiment-configurable
+ * perturbations so the fault-tolerance benchmarks are reproducible
+ * (cf. Stochastic-HMDs, arXiv:2103.06936, on hardware-induced
+ * stochasticity in deployed HMDs).
+ */
+
+#ifndef RHMD_RUNTIME_FAULT_INJECTION_HH
+#define RHMD_RUNTIME_FAULT_INJECTION_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "features/window.hh"
+#include "support/rng.hh"
+#include "uarch/perf_counters.hh"
+
+namespace rhmd::runtime
+{
+
+/** Per-experiment fault rates; all default to "no faults". */
+struct FaultConfig
+{
+    /** Relative Gaussian noise on every counter value (sigma). */
+    double counterNoiseSigma = 0.0;
+
+    /** Quantization: counters are rounded down to this step. */
+    std::uint32_t quantizeStep = 0;
+
+    /**
+     * Per-window chance that one architectural counter sticks at
+     * its current value for the rest of the run.
+     */
+    double stuckCounterProb = 0.0;
+
+    /** Per-read chance a whole window is lost. */
+    double dropWindowProb = 0.0;
+
+    /** Per-read chance a window is cut short (partial collection). */
+    double truncateWindowProb = 0.0;
+
+    /** Surviving fraction of a truncated window. */
+    double truncateFrac = 0.5;
+
+    /**
+     * Per-read chance a sensor read fails transiently; such reads
+     * succeed when retried (the runtime's backoff path).
+     */
+    double transientReadFailProb = 0.0;
+
+    /** Per-score chance any detector returns NaN. */
+    double scoreNanProb = 0.0;
+
+    /** Detectors whose scores are always NaN (hard failures). */
+    std::vector<std::size_t> brokenDetectors;
+
+    /** Per-byte corruption rate for corruptText(). */
+    double byteFlipRate = 0.0;
+
+    /** Fault-stream seed; same config + seed => same faults. */
+    std::uint64_t seed = 1;
+};
+
+/** What happened to a sensor read of one window. */
+enum class WindowFault : std::uint8_t
+{
+    None,
+    Dropped,
+    Truncated,
+};
+
+/**
+ * The seeded fault source. One injector models the fault behaviour
+ * of one deployment; all draws come from a private xoshiro stream so
+ * runs are reproducible.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &config);
+
+    /**
+     * Perturb one window in place (noise, quantization, stuck
+     * counter, truncation) and classify the read. A Dropped result
+     * means the window was lost and must not be classified.
+     */
+    WindowFault perturbWindow(features::RawWindow &window);
+
+    /** Roll the transient sensor-read failure. */
+    bool transientReadFailure();
+
+    /** Perturb a detector score (NaN faults for broken detectors). */
+    double perturbScore(std::size_t detector, double score);
+
+    /** Corrupt a serialized-model (or any) text buffer. */
+    std::string corruptText(const std::string &text);
+
+    /**
+     * A counter-read hook for uarch::PerfMonitor that applies the
+     * same noise/quantization/stuck-at model at the counter source,
+     * for experiments that inject faults during extraction rather
+     * than at the window level. The hook shares this injector's
+     * stuck-counter state.
+     */
+    uarch::CounterReadHook counterHook();
+
+    const FaultConfig &config() const { return config_; }
+
+  private:
+    std::uint64_t perturbCount(std::uint64_t value);
+    void perturbCounts(uarch::EventCounts &events);
+
+    FaultConfig config_;
+    Rng rng_;
+
+    /** Once set: (event index, frozen value). */
+    std::optional<std::pair<std::size_t, std::uint64_t>> stuck_;
+};
+
+} // namespace rhmd::runtime
+
+#endif // RHMD_RUNTIME_FAULT_INJECTION_HH

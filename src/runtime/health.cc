@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Health monitor implementation.
+ */
+
+#include "runtime/health.hh"
+
+#include "support/logging.hh"
+
+namespace rhmd::runtime
+{
+
+std::string_view
+healthName(DetectorHealth health)
+{
+    switch (health) {
+      case DetectorHealth::Healthy: return "healthy";
+      case DetectorHealth::Quarantined: return "quarantined";
+      case DetectorHealth::Probation: return "probation";
+    }
+    rhmd_panic("bad health state");
+}
+
+std::string_view
+healthEventName(HealthEvent::Kind kind)
+{
+    switch (kind) {
+      case HealthEvent::Kind::Failure: return "failure";
+      case HealthEvent::Kind::Quarantine: return "quarantine";
+      case HealthEvent::Kind::Probation: return "probation";
+      case HealthEvent::Kind::Recovery: return "recovery";
+    }
+    rhmd_panic("bad health event kind");
+}
+
+HealthMonitor::HealthMonitor(std::size_t pool_size,
+                             const HealthConfig &config)
+    : config_(config), states_(pool_size)
+{
+    fatal_if(pool_size == 0, "HealthMonitor needs a non-empty pool");
+    fatal_if(config_.failureThreshold == 0,
+             "failure threshold must be positive");
+    fatal_if(config_.probationSuccesses == 0,
+             "probation success count must be positive");
+}
+
+void
+HealthMonitor::tick()
+{
+    ++epoch_;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        DetectorState &state = states_[i];
+        if (state.health == DetectorHealth::Quarantined &&
+            epoch_ - state.quarantinedAt >= config_.quarantineEpochs) {
+            state.health = DetectorHealth::Probation;
+            state.probationStreak = 0;
+            state.consecutiveFailures = 0;
+            events_.push_back({epoch_, i, HealthEvent::Kind::Probation,
+                               "quarantine cool-down elapsed"});
+        }
+    }
+}
+
+void
+HealthMonitor::recordSuccess(std::size_t detector)
+{
+    DetectorState &state = states_.at(detector);
+    state.consecutiveFailures = 0;
+    if (state.health == DetectorHealth::Probation) {
+        if (++state.probationStreak >= config_.probationSuccesses) {
+            state.health = DetectorHealth::Healthy;
+            events_.push_back({epoch_, detector,
+                               HealthEvent::Kind::Recovery,
+                               "probation passed"});
+        }
+    }
+}
+
+void
+HealthMonitor::quarantine(std::size_t detector, const std::string &why)
+{
+    DetectorState &state = states_[detector];
+    state.health = DetectorHealth::Quarantined;
+    state.quarantinedAt = epoch_;
+    state.probationStreak = 0;
+    events_.push_back({epoch_, detector, HealthEvent::Kind::Quarantine,
+                       why});
+}
+
+void
+HealthMonitor::recordFailure(std::size_t detector,
+                             const std::string &why)
+{
+    DetectorState &state = states_.at(detector);
+    ++state.totalFailures;
+    ++state.consecutiveFailures;
+    state.probationStreak = 0;
+    events_.push_back({epoch_, detector, HealthEvent::Kind::Failure,
+                       why});
+    if (state.health == DetectorHealth::Probation) {
+        // One strike on probation: straight back to quarantine.
+        quarantine(detector, "failed during probation: " + why);
+        return;
+    }
+    if (state.health == DetectorHealth::Healthy &&
+        state.consecutiveFailures >= config_.failureThreshold) {
+        quarantine(detector, why);
+    }
+}
+
+DetectorHealth
+HealthMonitor::health(std::size_t detector) const
+{
+    return states_.at(detector).health;
+}
+
+bool
+HealthMonitor::available(std::size_t detector) const
+{
+    return states_.at(detector).health != DetectorHealth::Quarantined;
+}
+
+std::size_t
+HealthMonitor::availableCount() const
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < states_.size(); ++i)
+        n += available(i) ? 1 : 0;
+    return n;
+}
+
+std::size_t
+HealthMonitor::quarantinedCount() const
+{
+    return states_.size() - availableCount();
+}
+
+support::StatusOr<std::vector<double>>
+HealthMonitor::effectivePolicy(const std::vector<double> &base) const
+{
+    panic_if(base.size() != states_.size(),
+             "policy size does not match the monitored pool");
+    std::vector<double> policy(base.size(), 0.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        if (available(i)) {
+            policy[i] = base[i];
+            total += base[i];
+        }
+    }
+    if (total <= 0.0)
+        return support::unavailableError(
+            "every base detector is quarantined; the pool cannot "
+            "classify");
+    for (double &p : policy)
+        p /= total;
+    return policy;
+}
+
+std::size_t
+HealthMonitor::failureCount(std::size_t detector) const
+{
+    return states_.at(detector).totalFailures;
+}
+
+} // namespace rhmd::runtime

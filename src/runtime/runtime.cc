@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Detection runtime implementation.
+ */
+
+#include "runtime/runtime.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace rhmd::runtime
+{
+
+namespace
+{
+
+bool
+validScore(double score)
+{
+    return std::isfinite(score) && score >= 0.0 && score <= 1.0;
+}
+
+} // namespace
+
+DetectionRuntime::DetectionRuntime(const core::Rhmd &pool,
+                                   const RuntimeConfig &config)
+    : pool_(pool), config_(config), injector_(config.faults),
+      health_(pool.poolSize(), config.health), rng_(config.seed),
+      selectionCounts_(pool.poolSize(), 0)
+{
+}
+
+support::StatusOr<features::RawWindow>
+DetectionRuntime::readWindow(const features::ProgramFeatures &prog,
+                             const core::Hmd &det,
+                             std::size_t epoch_index,
+                             RuntimeReport &report)
+{
+    const std::uint32_t period = det.decisionPeriod();
+    const auto &windows = prog.windows(period);
+    const std::size_t index =
+        epoch_index * (pool_.decisionPeriod() / period);
+    if (index >= windows.size()) {
+        // The stream ended early at this period (truncated trace);
+        // a lost window, not a library bug.
+        return support::dataLossError("no window ", index,
+                                      " at period ", period);
+    }
+
+    support::RetryStats stats;
+    auto result = support::retryWithBackoff(
+        config_.sensorRetry,
+        [&]() -> support::StatusOr<features::RawWindow> {
+            if (injector_.transientReadFailure())
+                return support::unavailableError(
+                    "transient sensor-read failure");
+            features::RawWindow window = windows[index];
+            switch (injector_.perturbWindow(window)) {
+              case WindowFault::Dropped:
+                return support::dataLossError("window dropped");
+              case WindowFault::Truncated:
+                ++report.truncated;
+                return window;
+              case WindowFault::None:
+                return window;
+            }
+            rhmd_panic("bad window fault");
+        },
+        &stats);
+    report.sensorRetries += stats.retries;
+    report.backoffSpent += stats.backoffSpent;
+    return result;
+}
+
+support::StatusOr<RuntimeReport>
+DetectionRuntime::processProgram(const features::ProgramFeatures &prog)
+{
+    RuntimeReport report;
+    const std::uint32_t epoch_len = pool_.decisionPeriod();
+    report.epochs = prog.windows(epoch_len).size();
+
+    for (std::size_t e = 0; e < report.epochs; ++e) {
+        health_.tick();
+
+        // One epoch may take several draws: an invalid score fails
+        // over to another available detector instead of losing the
+        // epoch outright. The budget covers the worst case of every
+        // pool member burning through its whole failure streak in
+        // this epoch, so a decision is reached whenever any healthy
+        // detector remains.
+        const std::size_t max_attempts =
+            pool_.poolSize() * config_.health.failureThreshold;
+        bool decided = false;
+        bool windowLost = false;
+        for (std::size_t attempt = 0;
+             attempt < max_attempts && !decided && !windowLost;
+             ++attempt) {
+            auto policy = health_.effectivePolicy(pool_.policy());
+            if (!policy.isOk()) {
+                ++failedPrograms_;
+                return policy.status();
+            }
+            const std::size_t pick = rng_.weightedIndex(*policy);
+            ++selectionCounts_[pick];
+            const core::Hmd &det = *pool_.detectors()[pick];
+
+            auto window = readWindow(prog, det, e, report);
+            if (!window.isOk()) {
+                // Sensor-path loss: the epoch is gone no matter
+                // which detector we pick.
+                ++report.dropped;
+                windowLost = true;
+                break;
+            }
+
+            const double score = injector_.perturbScore(
+                pick, det.windowScore(*window));
+            if (!validScore(score)) {
+                ++report.detectorFailures;
+                health_.recordFailure(
+                    pick, rhmd::detail::concat("invalid score ", score,
+                                               " at epoch ",
+                                               health_.epoch()));
+                continue;
+            }
+            health_.recordSuccess(pick);
+            report.decisions.push_back(score >= det.threshold() ? 1
+                                                                : 0);
+            ++report.classified;
+            decided = true;
+        }
+    }
+
+    if (report.decisions.empty()) {
+        ++failedPrograms_;
+        return support::unavailableError(
+            "no epoch of '", prog.name, "' could be classified (",
+            report.dropped, " of ", report.epochs,
+            " windows lost, ", report.detectorFailures,
+            " detector failures)");
+    }
+
+    // Majority vote with ties flagged as malware, matching
+    // Detector::programDecision.
+    std::size_t malware_votes = 0;
+    for (int d : report.decisions)
+        malware_votes += d != 0 ? 1 : 0;
+    report.programDecision =
+        2 * malware_votes >= report.decisions.size() ? 1 : 0;
+    return report;
+}
+
+double
+DetectionRuntime::detectionRate(
+    const std::vector<const features::ProgramFeatures *> &programs)
+{
+    fatal_if(programs.empty(),
+             "detectionRate needs at least one program");
+    std::size_t detected = 0;
+    for (const auto *prog : programs) {
+        panic_if(prog == nullptr, "null program in detectionRate");
+        auto report = processProgram(*prog);
+        if (report.isOk() && report->programDecision == 1)
+            ++detected;
+    }
+    return static_cast<double>(detected) /
+           static_cast<double>(programs.size());
+}
+
+} // namespace rhmd::runtime

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The online detection runtime: streams feature windows from a
+ * program through an Rhmd pool and survives injected faults.
+ *
+ * This is the deployment wrapper around core::Rhmd. Where
+ * Rhmd::decide() assumes a clean, fully-collected feature stream,
+ * the runtime models the always-on hardware path (paper Sec. 7's
+ * AO486 prototype): sensor reads are retried under backoff when they
+ * fail transiently, dropped windows skip an epoch instead of
+ * aborting, invalid detector scores (NaN / out of range) are
+ * reported to the health monitor, and repeatedly failing detectors
+ * are quarantined with the switching policy renormalized over the
+ * survivors.
+ */
+
+#ifndef RHMD_RUNTIME_RUNTIME_HH
+#define RHMD_RUNTIME_RUNTIME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rhmd.hh"
+#include "runtime/fault_injection.hh"
+#include "runtime/health.hh"
+#include "support/retry.hh"
+#include "support/status.hh"
+
+namespace rhmd::runtime
+{
+
+/** Runtime deployment parameters. */
+struct RuntimeConfig
+{
+    HealthConfig health{};
+
+    /** Injected faults; all-zero (the default) is a clean deployment. */
+    FaultConfig faults{};
+
+    /** Backoff budget for transiently failing sensor reads. */
+    support::RetryPolicy sensorRetry{};
+
+    /** Detector-selection randomness (independent of the pool's). */
+    std::uint64_t seed = 0x600dd37ec7;
+};
+
+/** What one program's streaming run observed. */
+struct RuntimeReport
+{
+    /** Epochs in the program's stream. */
+    std::size_t epochs = 0;
+
+    /** Epochs that produced a decision. */
+    std::size_t classified = 0;
+
+    /** Epochs lost to dropped windows or exhausted retries. */
+    std::size_t dropped = 0;
+
+    /** Epochs classified from a truncated (partial) window. */
+    std::size_t truncated = 0;
+
+    /** Sensor-read retries performed. */
+    std::size_t sensorRetries = 0;
+
+    /** Virtual backoff time spent in retries. */
+    double backoffSpent = 0.0;
+
+    /** Invalid detector scores observed (NaN / out of range). */
+    std::size_t detectorFailures = 0;
+
+    /** Per-epoch decisions (classified epochs only, in order). */
+    std::vector<int> decisions;
+
+    /** Majority program-level decision (ties count as malware). */
+    int programDecision = 0;
+};
+
+/**
+ * Streams programs through a detector pool under a fault model and a
+ * degradation policy. Health state accumulates across programs, as
+ * it would in an always-on deployment; construct a fresh runtime to
+ * reset it.
+ */
+class DetectionRuntime
+{
+  public:
+    /**
+     * @param pool   the deployed pool; must outlive the runtime.
+     * @param config fault model, degradation policy, retry budget.
+     */
+    DetectionRuntime(const core::Rhmd &pool,
+                     const RuntimeConfig &config);
+
+    /**
+     * Stream one program's windows through the pool. Returns the
+     * per-program report, or Unavailable when no epoch could be
+     * classified (every window lost, or the whole pool quarantined).
+     * Never aborts on sensor or detector faults.
+     */
+    support::StatusOr<RuntimeReport>
+    processProgram(const features::ProgramFeatures &prog);
+
+    /**
+     * Detection rate over several programs: the fraction whose
+     * program-level decision is "malware". Programs whose run fails
+     * outright count as not-detected (a fail-open deployment).
+     */
+    double detectionRate(
+        const std::vector<const features::ProgramFeatures *> &programs);
+
+    const HealthMonitor &health() const { return health_; }
+    const FaultInjector &injector() const { return injector_; }
+
+    /** Selection counts per detector (degradation visibility). */
+    const std::vector<std::size_t> &selectionCounts() const
+    {
+        return selectionCounts_;
+    }
+
+    /** Programs whose processProgram() returned an error. */
+    std::size_t failedPrograms() const { return failedPrograms_; }
+
+  private:
+    support::StatusOr<features::RawWindow>
+    readWindow(const features::ProgramFeatures &prog,
+               const core::Hmd &det, std::size_t epoch_index,
+               RuntimeReport &report);
+
+    const core::Rhmd &pool_;
+    RuntimeConfig config_;
+    FaultInjector injector_;
+    HealthMonitor health_;
+    Rng rng_;
+    std::vector<std::size_t> selectionCounts_;
+    std::size_t failedPrograms_ = 0;
+};
+
+} // namespace rhmd::runtime
+
+#endif // RHMD_RUNTIME_RUNTIME_HH

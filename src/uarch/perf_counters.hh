@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string_view>
 
 #include "trace/execution.hh"
@@ -48,6 +49,14 @@ std::string_view eventName(Event event);
 /** Per-window event counters. */
 using EventCounts = std::array<std::uint64_t, kNumEvents>;
 
+/**
+ * Mutating hook applied to every counter read on the sensor path.
+ * The fault-injection layer (src/runtime/) installs hooks that model
+ * hardware-induced read noise, quantized counters, and stuck-at
+ * faults; production reads leave the hook empty.
+ */
+using CounterReadHook = std::function<void(EventCounts &)>;
+
 /** Per-instruction microarchitectural outcome (feeds the CPI model). */
 struct StepOutcome
 {
@@ -80,8 +89,22 @@ class PerfMonitor
     /** Account one committed instruction. */
     StepOutcome step(const trace::DynInst &inst);
 
-    /** Current window's counters. */
+    /** Current window's counters, as maintained internally. */
     const EventCounts &counts() const { return counts_; }
+
+    /**
+     * Counter snapshot as the sensor path observes it: the raw
+     * counts passed through the read hook when one is installed.
+     * This is what the feature extractor consumes, so an installed
+     * fault model perturbs every downstream feature window.
+     */
+    EventCounts read() const;
+
+    /** Install (or clear, with {}) the counter-read fault hook. */
+    void setReadHook(CounterReadHook hook)
+    {
+        readHook_ = std::move(hook);
+    }
 
     /** Zero the window counters (structural state persists). */
     void clearCounts() { counts_.fill(0); }
@@ -98,6 +121,7 @@ class PerfMonitor
     BimodalPredictor bimodal_;
     GsharePredictor gshare_;
     EventCounts counts_{};
+    CounterReadHook readHook_;
 };
 
 } // namespace rhmd::uarch

@@ -154,6 +154,27 @@ TEST(Rhmd, PoolDetectsMalware)
     EXPECT_GT(sens, fpr + 0.2);
 }
 
+TEST(Rhmd, PolicyToleratesFloatRoundoff)
+{
+    // A user-computed policy that is off by less than 1e-6 (e.g.
+    // accumulated 1/N round-off) is accepted and renormalized
+    // instead of aborting.
+    const Experiment &exp = sharedExperiment();
+    std::vector<std::unique_ptr<Hmd>> dets;
+    for (const auto &spec : twoFeatureSpecs()) {
+        HmdConfig config;
+        config.algorithm = "LR";
+        config.specs = {spec};
+        auto det = std::make_unique<Hmd>(config);
+        det->trainOnPrograms(exp.corpus(), exp.split().victimTrain);
+        dets.push_back(std::move(det));
+    }
+    Rhmd pool(std::move(dets), {0.5 + 5e-7, 0.5}, 23);
+    const double total = pool.policy()[0] + pool.policy()[1];
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_GT(pool.policy()[0], pool.policy()[1]);
+}
+
 TEST(Rhmd, ValidatesConstruction)
 {
     EXPECT_EXIT(Rhmd({}, {}, 1), ::testing::ExitedWithCode(1),

@@ -1,6 +1,8 @@
 /**
  * @file
- * Tests of the classifier factory and model serialization.
+ * Tests of the classifier factory and model serialization, including
+ * the robustness contract: corrupt, truncated, or wrong-version
+ * streams must surface recoverable errors, never crash or abort.
  */
 
 #include <gtest/gtest.h>
@@ -13,6 +15,7 @@
 #include "ml/mlp.hh"
 #include "ml/serialize.hh"
 #include "ml/svm.hh"
+#include "runtime/fault_injection.hh"
 
 namespace
 {
@@ -33,6 +36,19 @@ TEST(Factory, RejectsUnknownName)
 {
     EXPECT_EXIT(makeClassifier("GBM"), ::testing::ExitedWithCode(1),
                 "unknown classifier");
+}
+
+TEST(Serialize, StreamStartsWithMagicAndVersion)
+{
+    LogisticRegression lr;
+    lr.setParams({1.0}, 0.0);
+    std::stringstream stream;
+    saveModel(lr, stream);
+    std::string magic;
+    int version = 0;
+    stream >> magic >> version;
+    EXPECT_EQ(magic, std::string(kModelMagic));
+    EXPECT_EQ(version, kModelFormatVersion);
 }
 
 TEST(Serialize, LrRoundTrip)
@@ -74,6 +90,33 @@ TEST(Serialize, MlpRoundTrip)
     }
 }
 
+TEST(Serialize, EveryParametricModelRoundTripsAfterTraining)
+{
+    // Round-trip all serializable models on the same trained task
+    // and check score equivalence point-by-point.
+    Rng gen(50);
+    Dataset data;
+    for (int i = 0; i < 300; ++i) {
+        const bool pos = i % 2 == 0;
+        data.add({gen.gaussian(pos ? 1.0 : -1.0, 1.0),
+                  gen.gaussian(pos ? -0.5 : 0.5, 1.0)},
+                 pos ? 1 : 0);
+    }
+    for (const char *name : {"LR", "SVM", "NN"}) {
+        auto model = makeClassifier(name);
+        Rng rng(1);
+        model->train(data, rng);
+        std::stringstream stream;
+        ASSERT_TRUE(trySaveModel(*model, stream).isOk()) << name;
+        auto loaded = tryLoadModel(stream);
+        ASSERT_TRUE(loaded.isOk()) << name;
+        for (const auto &x : data.x) {
+            ASSERT_NEAR((*loaded)->score(x), model->score(x), 1e-12)
+                << name;
+        }
+    }
+}
+
 TEST(Serialize, TrainedModelRoundTripPreservesAuc)
 {
     Rng gen(50);
@@ -103,18 +146,128 @@ TEST(Serialize, DtIsNotSerializable)
 {
     DecisionTree tree;
     std::stringstream stream;
-    EXPECT_EXIT(saveModel(tree, stream), ::testing::ExitedWithCode(1),
+    const auto status = trySaveModel(tree, stream);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), support::StatusCode::InvalidArgument);
+    EXPECT_NE(status.message().find("does not support"),
+              std::string::npos);
+    // The fatal wrapper still exits for config-time callers.
+    std::stringstream other;
+    EXPECT_EXIT(saveModel(tree, other), ::testing::ExitedWithCode(1),
                 "does not support");
 }
 
-TEST(Serialize, CorruptStreamIsFatal)
+TEST(Serialize, BadMagicIsRecoverable)
 {
     std::stringstream stream("GARBAGE 1 2 3");
-    EXPECT_EXIT(loadModel(stream), ::testing::ExitedWithCode(1),
-                "unknown model kind");
-    std::stringstream truncated("LR\n3 0.5 0.25");
+    const auto model = tryLoadModel(stream);
+    ASSERT_FALSE(model.isOk());
+    EXPECT_EQ(model.status().code(),
+              support::StatusCode::InvalidArgument);
+    EXPECT_NE(model.status().message().find("bad magic"),
+              std::string::npos);
+}
+
+TEST(Serialize, WrongVersionIsRecoverable)
+{
+    std::stringstream stream("RHMD-MODEL 99\nLR\n1 0.5\n0.0\n");
+    const auto model = tryLoadModel(stream);
+    ASSERT_FALSE(model.isOk());
+    EXPECT_EQ(model.status().code(),
+              support::StatusCode::FailedPrecondition);
+    EXPECT_NE(model.status().message().find("version"),
+              std::string::npos);
+}
+
+TEST(Serialize, UnknownKindIsRecoverable)
+{
+    std::stringstream stream("RHMD-MODEL 2\nGBM\n1 0.5\n");
+    const auto model = tryLoadModel(stream);
+    ASSERT_FALSE(model.isOk());
+    EXPECT_EQ(model.status().code(),
+              support::StatusCode::InvalidArgument);
+    EXPECT_NE(model.status().message().find("unknown model kind"),
+              std::string::npos);
+}
+
+TEST(Serialize, TruncatedStreamsAreRecoverable)
+{
+    // Cut a valid stream at every byte offset: each prefix must
+    // produce an error (or, for a lucky prefix, a valid model), and
+    // never crash or abort.
+    Mlp nn;
+    nn.setParams({{0.1, 0.2}, {0.3, -0.4}}, {0.01, 0.02}, {1.0, -1.0},
+                 -0.1);
+    std::stringstream full;
+    saveModel(nn, full);
+    const std::string text = full.str();
+    std::size_t errors = 0;
+    for (std::size_t cut = 0; cut + 1 < text.size(); ++cut) {
+        std::stringstream prefix(text.substr(0, cut));
+        errors += tryLoadModel(prefix).isOk() ? 0 : 1;
+    }
+    // Almost every strict prefix must error; the only survivors are
+    // cuts inside the digits of the trailing output bias (a full-
+    // precision double, up to ~25 bytes), which still leave a
+    // syntactically complete stream.
+    EXPECT_GE(errors + 30, text.size() - 1);
+    EXPECT_GE(errors, (text.size() - 1) / 2);
+    std::stringstream empty("");
+    EXPECT_FALSE(tryLoadModel(empty).isOk());
+}
+
+TEST(Serialize, AbsurdVectorSizeIsRecoverable)
+{
+    std::stringstream stream("RHMD-MODEL 2\nLR\n99999999999 0.5\n");
+    const auto model = tryLoadModel(stream);
+    ASSERT_FALSE(model.isOk());
+    EXPECT_EQ(model.status().code(), support::StatusCode::DataLoss);
+}
+
+TEST(Serialize, NonFiniteParametersAreRecoverable)
+{
+    // "nan" is rejected by the stream parse itself; an overflowing
+    // literal is rejected either way. Both must surface DataLoss.
+    for (const char *text : {"RHMD-MODEL 2\nLR\n2 nan 0.5\n0.0\n",
+                             "RHMD-MODEL 2\nLR\n2 1e999999 0.5\n0.0\n"}) {
+        std::stringstream stream(text);
+        const auto model = tryLoadModel(stream);
+        ASSERT_FALSE(model.isOk()) << text;
+        EXPECT_EQ(model.status().code(), support::StatusCode::DataLoss);
+    }
+}
+
+TEST(Serialize, FatalWrapperStillExitsOnCorruptStream)
+{
+    std::stringstream truncated("RHMD-MODEL 2\nLR\n3 0.5 0.25");
     EXPECT_EXIT(loadModel(truncated), ::testing::ExitedWithCode(1),
                 "short vector");
+}
+
+TEST(Serialize, FuzzedStreamsNeverAbort)
+{
+    // Deterministically corrupt a valid model stream at increasing
+    // byte-flip rates; every variant must parse or error cleanly.
+    LogisticRegression lr;
+    lr.setParams({0.5, -1.25, 3.0}, 0.75);
+    std::stringstream stream;
+    saveModel(lr, stream);
+    const std::string text = stream.str();
+
+    std::size_t errors = 0;
+    std::size_t trials = 0;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        runtime::FaultConfig config;
+        config.byteFlipRate = 0.02 * static_cast<double>(seed % 8 + 1);
+        config.seed = seed;
+        runtime::FaultInjector injector(config);
+        std::stringstream corrupt(injector.corruptText(text));
+        errors += tryLoadModel(corrupt).isOk() ? 0 : 1;
+        ++trials;
+    }
+    // Most corruptions must be caught (magic, sizes, parse errors);
+    // a flip inside a digit can legitimately still parse.
+    EXPECT_GT(errors, trials / 2);
 }
 
 } // namespace
