@@ -35,6 +35,8 @@ main()
                 detected.size());
 
     Table table({"injected", "basic_block", "function"});
+    core::EvasionAudit audit;
+    std::size_t expected_verified = 0;
     for (std::size_t count : {0, 1, 2, 3}) {
         std::vector<std::string> row{std::to_string(count)};
         for (auto level : {trace::InjectLevel::Block,
@@ -44,13 +46,23 @@ main()
             plan.level = level;
             plan.count = count;
             const auto modified =
-                exp.extractEvasive(detected, plan, nullptr);
+                exp.extractEvasive(detected, plan, nullptr, &audit);
+            if (count > 0)
+                expected_verified += detected.size();
             row.push_back(Table::percent(
                 core::Experiment::detectionRate(*victim, modified)));
         }
         table.addRow(row);
     }
     emitTable(table);
+
+    std::printf("\npreservation audit: %zu sites admitted, %zu "
+                "rejected, %zu variants verified\n",
+                audit.admittedSites, audit.rejectedSites,
+                audit.verifiedPrograms);
+    panic_if(audit.verifiedPrograms != expected_verified,
+             "evasive variants missed verification: ",
+             audit.verifiedPrograms, " of ", expected_verified);
 
     std::printf("\nShape to match the paper: detection stays high — "
                 "injecting random instructions\ndoes not help evade; "

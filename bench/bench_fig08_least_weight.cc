@@ -41,6 +41,9 @@ main()
     const core::Experiment exp =
         core::Experiment::build(standardConfig());
 
+    core::EvasionAudit audit;
+    std::size_t expected_verified = 0;
+
     for (const char *victim_alg : {"LR", "NN"}) {
         const auto victim = exp.trainVictim(
             victim_alg, features::FeatureKind::Instructions, 10000);
@@ -76,8 +79,10 @@ main()
                 plan.strategy = core::EvasionStrategy::LeastWeight;
                 plan.level = level;
                 plan.count = count;
-                const auto modified =
-                    exp.extractEvasive(detected, plan, proxy.get());
+                const auto modified = exp.extractEvasive(
+                    detected, plan, proxy.get(), &audit);
+                if (count > 0)
+                    expected_verified += detected.size();
                 row.push_back(Table::percent(
                     core::Experiment::detectionRate(*victim,
                                                     modified)));
@@ -90,6 +95,14 @@ main()
         }
         emitTable(table);
     }
+
+    std::printf("\npreservation audit: %zu sites admitted, %zu "
+                "rejected, %zu variants verified\n",
+                audit.admittedSites, audit.rejectedSites,
+                audit.verifiedPrograms);
+    panic_if(audit.verifiedPrograms != expected_verified,
+             "evasive variants missed verification: ",
+             audit.verifiedPrograms, " of ", expected_verified);
 
     std::printf("\nShape to match the paper: block-level injection of "
                 "1-3 instructions collapses\ndetection by both the "

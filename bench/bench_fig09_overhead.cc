@@ -8,6 +8,7 @@
 
 #include "bench_common.hh"
 
+#include "analysis/preservation.hh"
 #include "features/extractor.hh"
 #include "support/stats.hh"
 #include "trace/injection.hh"
@@ -60,6 +61,12 @@ main()
                  "cycles (block)", "static (func)", "dynamic (func)",
                  "cycles (func)"});
 
+    // Sites the preservation gate skipped because the payload would
+    // clobber live state. The scratch-register payloads used here are
+    // dead by construction, so any rejection is worth seeing.
+    std::size_t admitted_sites = 0;
+    std::size_t rejected_sites = 0;
+
     for (std::size_t count : {1, 2, 5, 15}) {
         std::vector<std::string> row{std::to_string(count)};
         for (auto level : {trace::InjectLevel::Block,
@@ -73,8 +80,11 @@ main()
             for (std::size_t k = 0; k < test_mal.size(); k += 4) {
                 const trace::Program &original =
                     exp.programs()[test_mal[k]];
-                const trace::Program modified =
-                    trace::Injector::apply(original, level, payload);
+                analysis::InjectionGate gate(original);
+                const trace::Program modified = trace::Injector::apply(
+                    original, level, payload, gate.filter());
+                admitted_sites += gate.admitted();
+                rejected_sites += gate.rejected();
                 static_oh.add(
                     trace::staticOverhead(original, modified));
                 dynamic_oh.add(
@@ -88,6 +98,10 @@ main()
         table.addRow(row);
     }
     emitTable(table);
+
+    std::printf("\npreservation gate: %zu sites admitted, %zu "
+                "rejected\n",
+                admitted_sites, rejected_sites);
 
     std::printf("\nShape to match the paper: ~10%% overhead at 1 "
                 "instruction per block, growing\nroughly linearly; "

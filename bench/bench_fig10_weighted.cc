@@ -33,6 +33,8 @@ main()
 
     Table table({"injected", "block (victim)", "func (victim)",
                  "block (reversed)", "func (reversed)"});
+    core::EvasionAudit audit;
+    std::size_t expected_verified = 0;
     for (std::size_t count : {0, 1, 2, 3, 5, 10, 15}) {
         std::vector<std::string> row{std::to_string(count)};
         for (const core::Hmd *model : {victim.get(), proxy.get()}) {
@@ -43,7 +45,9 @@ main()
                 plan.level = level;
                 plan.count = count;
                 const auto modified =
-                    exp.extractEvasive(detected, plan, model);
+                    exp.extractEvasive(detected, plan, model, &audit);
+                if (count > 0)
+                    expected_verified += detected.size();
                 row.push_back(Table::percent(
                     core::Experiment::detectionRate(*victim,
                                                     modified)));
@@ -52,6 +56,14 @@ main()
         table.addRow(row);
     }
     emitTable(table);
+
+    std::printf("\npreservation audit: %zu sites admitted, %zu "
+                "rejected, %zu variants verified\n",
+                audit.admittedSites, audit.rejectedSites,
+                audit.verifiedPrograms);
+    panic_if(audit.verifiedPrograms != expected_verified,
+             "evasive variants missed verification: ",
+             audit.verifiedPrograms, " of ", expected_verified);
 
     std::printf("\nShape to match the paper: evasion success driven "
                 "by the reversed detector is\nalmost equal to using "

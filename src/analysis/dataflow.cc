@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Dataflow analyses implementation.
+ *
+ * Both fixpoints assume a structurally valid function (branch targets
+ * in range) — run the CFG verifier first on untrusted input; out-of-
+ * range targets here are a caller bug and panic.
+ */
+
+#include "analysis/dataflow.hh"
+
+#include "support/logging.hh"
+
+namespace rhmd::analysis
+{
+
+using trace::OpClass;
+using trace::OpInfo;
+using trace::RegId;
+using trace::TermKind;
+
+RegSet
+regBit(RegId reg)
+{
+    panic_if(reg >= trace::kNumRegs, "bad register id ", unsigned{reg});
+    return static_cast<RegSet>(1U << reg);
+}
+
+bool
+contains(RegSet set, RegId reg)
+{
+    return (set & regBit(reg)) != 0;
+}
+
+std::string
+regSetName(RegSet set)
+{
+    std::string out = "{";
+    bool first = true;
+    for (std::size_t r = 0; r < trace::kNumRegs; ++r) {
+        if (!contains(set, static_cast<RegId>(r)))
+            continue;
+        if (!first)
+            out += ", ";
+        out += trace::regName(static_cast<RegId>(r));
+        first = false;
+    }
+    out += "}";
+    return out;
+}
+
+RegSet
+instUses(const trace::StaticInst &inst)
+{
+    const OpInfo &info = trace::opInfo(inst.op);
+    RegSet set = 0;
+    if (info.numSrc >= 1)
+        set |= regBit(inst.src1);
+    if (info.numSrc >= 2)
+        set |= regBit(inst.src2);
+    const bool stack_addressed = trace::accessesMemory(inst.op) &&
+        inst.mem.pattern == trace::AddrPattern::StackSlot;
+    if (stack_addressed || inst.op == OpClass::Push ||
+        inst.op == OpClass::Pop) {
+        set |= regBit(trace::kRegSp);
+    }
+    return set;
+}
+
+RegSet
+instDefs(const trace::StaticInst &inst)
+{
+    const OpInfo &info = trace::opInfo(inst.op);
+    RegSet set = 0;
+    if (info.hasDst)
+        set |= regBit(inst.dst);
+    if (inst.op == OpClass::Push || inst.op == OpClass::Pop)
+        set |= regBit(trace::kRegSp);
+    return set;
+}
+
+RegSet
+termUses(const trace::Terminator &term)
+{
+    switch (term.kind) {
+      case TermKind::CondBranch:
+        return regBit(term.condSrc1) | regBit(term.condSrc2);
+      case TermKind::Jump:
+        return 0;
+      case TermKind::Call:
+        // The callee may read the ABI argument registers; sp carries
+        // the return address push.
+        return regBit(trace::kRegArg0) | regBit(trace::kRegArg1) |
+               regBit(trace::kRegArg2) | regBit(trace::kRegSp);
+      case TermKind::Ret:
+        // The caller observes the return-value register.
+        return regBit(trace::kRegRet) | regBit(trace::kRegSp);
+      case TermKind::Exit:
+        // The exit status is observable program output.
+        return regBit(trace::kRegRet);
+    }
+    rhmd_panic("bad terminator kind");
+}
+
+RegSet
+termDefs(const trace::Terminator &term)
+{
+    switch (term.kind) {
+      case TermKind::Call:
+        // The callee returns a value and may clobber the volatile
+        // scratch registers; sp is restored on return.
+        return regBit(trace::kRegRet) | regBit(trace::kRegScratch0) |
+               regBit(trace::kRegScratch1) | regBit(trace::kRegSp);
+      case TermKind::Ret:
+        return regBit(trace::kRegSp);
+      case TermKind::CondBranch:
+      case TermKind::Jump:
+      case TermKind::Exit:
+        return 0;
+    }
+    rhmd_panic("bad terminator kind");
+}
+
+std::vector<std::uint32_t>
+successorBlocks(const trace::Terminator &term)
+{
+    switch (term.kind) {
+      case TermKind::CondBranch:
+        if (term.takenTarget == term.fallTarget)
+            return {term.takenTarget};
+        return {term.takenTarget, term.fallTarget};
+      case TermKind::Jump:
+        return {term.takenTarget};
+      case TermKind::Call:
+        // Intra-function control resumes at the continuation; the
+        // callee's effect is summarized by termUses/termDefs.
+        return {term.fallTarget};
+      case TermKind::Ret:
+      case TermKind::Exit:
+        return {};
+    }
+    rhmd_panic("bad terminator kind");
+}
+
+namespace
+{
+
+/** Uses of one body instruction under the observability option. */
+RegSet
+observedUses(const trace::StaticInst &inst, const LivenessOptions &options)
+{
+    if (options.observableUsesOnly && inst.injected)
+        return 0;
+    return instUses(inst);
+}
+
+} // namespace
+
+Liveness
+Liveness::compute(const trace::Function &fn, const LivenessOptions &options)
+{
+    Liveness out;
+    out.fn_ = &fn;
+    out.options_ = options;
+    const std::size_t n = fn.blocks.size();
+    out.liveIn_.assign(n, 0);
+    out.liveOut_.assign(n, 0);
+
+    // Block summaries: upward-exposed uses and defined registers,
+    // scanned backward starting from the terminator.
+    std::vector<RegSet> use(n, 0);
+    std::vector<RegSet> def(n, 0);
+    for (std::size_t b = 0; b < n; ++b) {
+        const trace::BasicBlock &block = fn.blocks[b];
+        RegSet u = termUses(block.term);
+        RegSet d = termDefs(block.term);
+        for (std::size_t i = block.body.size(); i-- > 0;) {
+            const trace::StaticInst &inst = block.body[i];
+            const RegSet id = instDefs(inst);
+            u = observedUses(inst, options) | (u & ~id);
+            d |= id;
+        }
+        use[b] = u;
+        def[b] = d;
+    }
+
+    // Round-robin backward fixpoint; reverse block order converges in
+    // a couple of rounds on reducible CFGs.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++out.iterations_;
+        for (std::size_t b = n; b-- > 0;) {
+            RegSet live_out = 0;
+            for (const std::uint32_t succ :
+                 successorBlocks(fn.blocks[b].term)) {
+                panic_if(succ >= n, "successor out of range");
+                live_out |= out.liveIn_[succ];
+            }
+            const RegSet live_in = use[b] | (live_out & ~def[b]);
+            if (live_out != out.liveOut_[b] ||
+                live_in != out.liveIn_[b]) {
+                out.liveOut_[b] = live_out;
+                out.liveIn_[b] = live_in;
+                changed = true;
+            }
+        }
+    }
+    return out;
+}
+
+RegSet
+Liveness::liveIn(std::size_t block) const
+{
+    panic_if(block >= liveIn_.size(), "block out of range");
+    return liveIn_[block];
+}
+
+RegSet
+Liveness::liveOut(std::size_t block) const
+{
+    panic_if(block >= liveOut_.size(), "block out of range");
+    return liveOut_[block];
+}
+
+RegSet
+Liveness::liveBeforeTerm(std::size_t block) const
+{
+    panic_if(block >= liveOut_.size(), "block out of range");
+    const trace::Terminator &term = fn_->blocks[block].term;
+    return termUses(term) | (liveOut_[block] & ~termDefs(term));
+}
+
+std::vector<RegSet>
+Liveness::livePoints(std::size_t block) const
+{
+    panic_if(block >= liveOut_.size(), "block out of range");
+    const trace::BasicBlock &blk = fn_->blocks[block];
+    std::vector<RegSet> points(blk.body.size() + 1);
+    points[blk.body.size()] = liveBeforeTerm(block);
+    for (std::size_t i = blk.body.size(); i-- > 0;) {
+        const trace::StaticInst &inst = blk.body[i];
+        points[i] = observedUses(inst, options_) |
+                    (points[i + 1] & ~instDefs(inst));
+    }
+    return points;
+}
+
+namespace
+{
+
+/** Append one DefSite per register defined by the given def set. */
+void
+appendDefSites(std::vector<DefSite> &defs, std::size_t block,
+               std::size_t inst, RegSet set)
+{
+    for (std::size_t r = 0; r < trace::kNumRegs; ++r) {
+        if (contains(set, static_cast<RegId>(r)))
+            defs.push_back({block, inst, static_cast<RegId>(r)});
+    }
+}
+
+} // namespace
+
+ReachingDefs
+ReachingDefs::compute(const trace::Function &fn)
+{
+    ReachingDefs out;
+    const std::size_t n = fn.blocks.size();
+
+    // Enumerate definition sites in (block, inst) program order so a
+    // block's own sites are contiguous.
+    std::vector<std::size_t> block_first(n + 1, 0);
+    for (std::size_t b = 0; b < n; ++b) {
+        block_first[b] = out.defs_.size();
+        const trace::BasicBlock &block = fn.blocks[b];
+        for (std::size_t i = 0; i < block.body.size(); ++i)
+            appendDefSites(out.defs_, b, i, instDefs(block.body[i]));
+        appendDefSites(out.defs_, b, kTermIndex, termDefs(block.term));
+    }
+    block_first[n] = out.defs_.size();
+
+    const std::size_t n_defs = out.defs_.size();
+    out.words_ = (n_defs + 63) / 64;
+    const std::size_t words = out.words_;
+
+    // Per-register def-site index lists, as bit masks for kill sets.
+    std::vector<std::vector<std::uint64_t>> defs_of_reg(
+        trace::kNumRegs, std::vector<std::uint64_t>(words, 0));
+    for (std::size_t d = 0; d < n_defs; ++d)
+        defs_of_reg[out.defs_[d].reg][d / 64] |= 1ULL << (d % 64);
+
+    // Block transfer functions.
+    std::vector<std::uint64_t> gen(n * words, 0);
+    std::vector<std::uint64_t> kill(n * words, 0);
+    for (std::size_t b = 0; b < n; ++b) {
+        std::uint64_t *g = &gen[b * words];
+        std::uint64_t *k = &kill[b * words];
+        for (std::size_t d = block_first[b]; d < block_first[b + 1];
+             ++d) {
+            const std::vector<std::uint64_t> &same =
+                defs_of_reg[out.defs_[d].reg];
+            for (std::size_t w = 0; w < words; ++w) {
+                g[w] &= ~same[w];  // later def of the reg wins
+                k[w] |= same[w];
+            }
+            g[d / 64] |= 1ULL << (d % 64);
+        }
+    }
+
+    // Predecessor lists.
+    std::vector<std::vector<std::uint32_t>> preds(n);
+    for (std::size_t b = 0; b < n; ++b) {
+        for (const std::uint32_t succ :
+             successorBlocks(fn.blocks[b].term)) {
+            panic_if(succ >= n, "successor out of range");
+            preds[succ].push_back(static_cast<std::uint32_t>(b));
+        }
+    }
+
+    // Forward fixpoint: in = ∪ out(pred), out = gen ∪ (in − kill).
+    out.in_.assign(n * words, 0);
+    std::vector<std::uint64_t> outset(n * words, 0);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++out.iterations_;
+        for (std::size_t b = 0; b < n; ++b) {
+            std::uint64_t *in = &out.in_[b * words];
+            for (std::size_t w = 0; w < words; ++w) {
+                std::uint64_t bits = 0;
+                for (const std::uint32_t p : preds[b])
+                    bits |= outset[p * words + w];
+                in[w] = bits;
+            }
+            const std::uint64_t *g = &gen[b * words];
+            const std::uint64_t *k = &kill[b * words];
+            std::uint64_t *o = &outset[b * words];
+            for (std::size_t w = 0; w < words; ++w) {
+                const std::uint64_t next = g[w] | (in[w] & ~k[w]);
+                if (next != o[w]) {
+                    o[w] = next;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Def-use chains: walk each block with the running reaching set.
+    out.chains_.assign(n_defs, {});
+    std::vector<std::uint64_t> cur(words);
+    const auto record_uses = [&](std::size_t b, std::size_t i,
+                                 RegSet uses) {
+        for (std::size_t r = 0; r < trace::kNumRegs; ++r) {
+            if (!contains(uses, static_cast<RegId>(r)))
+                continue;
+            const std::vector<std::uint64_t> &same = defs_of_reg[r];
+            for (std::size_t w = 0; w < words; ++w) {
+                std::uint64_t live = cur[w] & same[w];
+                while (live != 0) {
+                    const auto bit = static_cast<std::size_t>(
+                        __builtin_ctzll(live));
+                    out.chains_[w * 64 + bit].push_back(
+                        {b, i, static_cast<RegId>(r)});
+                    live &= live - 1;
+                }
+            }
+        }
+    };
+    const auto apply_defs = [&](std::size_t &cursor, std::size_t last) {
+        for (; cursor < last; ++cursor) {
+            const std::vector<std::uint64_t> &same =
+                defs_of_reg[out.defs_[cursor].reg];
+            for (std::size_t w = 0; w < words; ++w)
+                cur[w] &= ~same[w];
+            cur[cursor / 64] |= 1ULL << (cursor % 64);
+        }
+    };
+    for (std::size_t b = 0; b < n; ++b) {
+        for (std::size_t w = 0; w < words; ++w)
+            cur[w] = out.in_[b * words + w];
+        const trace::BasicBlock &block = fn.blocks[b];
+        std::size_t cursor = block_first[b];
+        std::size_t next_site = cursor;
+        for (std::size_t i = 0; i < block.body.size(); ++i) {
+            record_uses(b, i, instUses(block.body[i]));
+            // Advance over this instruction's definition sites.
+            while (next_site < block_first[b + 1] &&
+                   out.defs_[next_site].inst == i) {
+                ++next_site;
+            }
+            apply_defs(cursor, next_site);
+        }
+        record_uses(b, kTermIndex, termUses(block.term));
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+ReachingDefs::reachingIn(std::size_t block) const
+{
+    std::vector<std::size_t> out;
+    if (words_ == 0)
+        return out;
+    const std::uint64_t *in = &in_[block * words_];
+    for (std::size_t w = 0; w < words_; ++w) {
+        std::uint64_t bits = in[w];
+        while (bits != 0) {
+            const auto bit =
+                static_cast<std::size_t>(__builtin_ctzll(bits));
+            out.push_back(w * 64 + bit);
+            bits &= bits - 1;
+        }
+    }
+    return out;
+}
+
+} // namespace rhmd::analysis

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Classic dataflow analyses over the trace IR's register model.
+ *
+ * All analyses work on the powerset lattice of the 15-register file
+ * (a RegSet bitmask) or of a function's definition sites (a bitvector
+ * keyed by DefSite index), with union as join. Transfer functions are
+ * monotone and the lattices have finite height, so the round-robin
+ * fixpoint iterations below terminate.
+ *
+ *  - Liveness: backward may-analysis. live_in(b) = use(b) ∪
+ *    (live_out(b) − def(b)), live_out(b) = ∪ live_in(succ). The
+ *    semantic-preservation checker (preservation.hh) is built on the
+ *    per-point form.
+ *  - Reaching definitions: forward may-analysis over definition
+ *    sites; gen/kill per block, in(b) = ∪ out(pred).
+ *  - Def-use chains: derived from reaching definitions by walking
+ *    each block with the running reaching set.
+ */
+
+#ifndef RHMD_ANALYSIS_DATAFLOW_HH
+#define RHMD_ANALYSIS_DATAFLOW_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/program.hh"
+
+namespace rhmd::analysis
+{
+
+/** A set of architectural registers, bit i = register id i. */
+using RegSet = std::uint32_t;
+
+/** Singleton set for one register. */
+RegSet regBit(trace::RegId reg);
+
+/** Membership test. */
+bool contains(RegSet set, trace::RegId reg);
+
+/** Diagnostic rendering: "{r1, r5, sp}". */
+std::string regSetName(RegSet set);
+
+/** Registers read by one body instruction (including sp for
+ *  stack-relative addressing and stack push data). */
+RegSet instUses(const trace::StaticInst &inst);
+
+/** Registers written by one body instruction. */
+RegSet instDefs(const trace::StaticInst &inst);
+
+/**
+ * Registers read by a terminator: compare-and-branch condition
+ * sources, the ABI argument registers at calls (the callee may read
+ * them), the return-value register at rets and exits, sp for any
+ * stack-engaging transfer.
+ */
+RegSet termUses(const trace::Terminator &term);
+
+/**
+ * Registers written by a terminator: calls define the return value
+ * and clobber the caller-saved scratch registers; call/ret adjust sp.
+ */
+RegSet termDefs(const trace::Terminator &term);
+
+/** Intra-function successor block indexes of a terminator. */
+std::vector<std::uint32_t> successorBlocks(const trace::Terminator &term);
+
+/** Controls whose reads generate liveness. */
+struct LivenessOptions
+{
+    /**
+     * Count only *observable* uses: reads made by injected
+     * instructions are ignored (terminator reads always count). An
+     * injected instruction's consumers are themselves candidates for
+     * removal, so under this option "live" means "may influence the
+     * original program's behaviour" — exactly the property the
+     * semantic-preservation rule needs.
+     */
+    bool observableUsesOnly = false;
+};
+
+/** Per-block liveness solution for one function. */
+class Liveness
+{
+  public:
+    /** Run the backward fixpoint over @p fn (kept by reference;
+     *  the function must outlive the solution). */
+    static Liveness compute(const trace::Function &fn,
+                            const LivenessOptions &options = {});
+
+    RegSet liveIn(std::size_t block) const;
+    RegSet liveOut(std::size_t block) const;
+
+    /** Live registers at the pre-terminator point — where the
+     *  evasion rewriter appends its payload. */
+    RegSet liveBeforeTerm(std::size_t block) const;
+
+    /**
+     * Per-point solution for one block: result[i] is the live set
+     * immediately *before* body[i]; result[body.size()] is the live
+     * set before the terminator. Recomputed on demand by a backward
+     * scan seeded from liveOut.
+     */
+    std::vector<RegSet> livePoints(std::size_t block) const;
+
+    /** Fixpoint rounds until stabilization (for tests). */
+    std::size_t iterations() const { return iterations_; }
+
+  private:
+    const trace::Function *fn_ = nullptr;
+    LivenessOptions options_;
+    std::vector<RegSet> liveIn_;
+    std::vector<RegSet> liveOut_;
+    std::size_t iterations_ = 0;
+};
+
+/** Sentinel instruction index naming a block's terminator. */
+constexpr std::size_t kTermIndex = static_cast<std::size_t>(-1);
+
+/** One register definition: body[inst] (or the terminator) of a
+ *  block defines reg. */
+struct DefSite
+{
+    std::size_t block = 0;
+    std::size_t inst = 0;  ///< body index, or kTermIndex
+    trace::RegId reg = 0;
+};
+
+/** One register use, in the same coordinates. */
+struct UseSite
+{
+    std::size_t block = 0;
+    std::size_t inst = 0;  ///< body index, or kTermIndex
+    trace::RegId reg = 0;
+};
+
+/** Reaching-definitions solution plus derived def-use chains. */
+class ReachingDefs
+{
+  public:
+    static ReachingDefs compute(const trace::Function &fn);
+
+    /** All definition sites, in (block, inst) program order. */
+    const std::vector<DefSite> &defSites() const { return defs_; }
+
+    /** Indexes into defSites() whose definitions reach the entry of
+     *  @p block. */
+    std::vector<std::size_t> reachingIn(std::size_t block) const;
+
+    /** chains()[d] = the uses reached by definition d, in program
+     *  order. */
+    const std::vector<std::vector<UseSite>> &chains() const
+    {
+        return chains_;
+    }
+
+    std::size_t iterations() const { return iterations_; }
+
+  private:
+    std::vector<DefSite> defs_;
+    std::vector<std::vector<UseSite>> chains_;
+    std::size_t words_ = 0;  ///< bitvector words per block
+    std::vector<std::uint64_t> in_;
+    std::size_t iterations_ = 0;
+};
+
+} // namespace rhmd::analysis
+
+#endif // RHMD_ANALYSIS_DATAFLOW_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Semantic-preservation checking for evasion rewrites.
+ *
+ * The paper's attack (Sec. 5) may add instructions to a victim
+ * binary, but must not change what the program computes. This module
+ * turns that constraint into a decision procedure over the IR:
+ * an injected instruction is *observationally dead* when
+ *
+ *  1. it cannot redirect control flow (no branches/calls/rets, no
+ *     unbalanced stack ops — the structural rules the rewriter
+ *     already enforces),
+ *  2. every register it writes is dead at that program point under
+ *     observable-uses-only liveness (reads by other injected
+ *     instructions do not count as observations — a chain of
+ *     injected instructions feeding only each other is dead as a
+ *     whole), and
+ *  3. any store it performs targets scratch memory: the stride-walked
+ *     red zone of the stack region, or a data region the original
+ *     program never reads. Stack-slot stores and stores into
+ *     regions the program loads from are clobbers.
+ *
+ * The injector-reserved scratch registers t0/t1 satisfy rule 2 at
+ * every point of a generated program by construction, which is why
+ * the paper-mode payloads always verify.
+ */
+
+#ifndef RHMD_ANALYSIS_PRESERVATION_HH
+#define RHMD_ANALYSIS_PRESERVATION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow.hh"
+#include "analysis/diagnostics.hh"
+#include "trace/injection.hh"
+#include "trace/program.hh"
+
+namespace rhmd::analysis
+{
+
+/**
+ * Audit an already-rewritten program: prove every instruction marked
+ * `injected` observationally dead, emitting an error finding for each
+ * violation. Returns true when all injected instructions verify.
+ */
+bool checkPreservation(const trace::Program &prog, Report &report);
+
+/**
+ * Liveness-based admission filter for the injection rewriter.
+ *
+ * Precomputes observable liveness and the region read-set of the
+ * *original* program once, then answers per-site queries: would
+ * appending this payload to block (fn, block) preserve semantics?
+ * core::evadeRewrite routes every candidate site through a gate so
+ * clobbering rewrites are skipped (and counted) instead of emitted.
+ */
+class InjectionGate
+{
+  public:
+    /** @param original must outlive the gate. */
+    explicit InjectionGate(const trace::Program &original);
+
+    /** True when appending @p payload to the end of the block's body
+     *  is provably semantics-preserving. */
+    bool admits(std::size_t fn, std::size_t block,
+                const std::vector<trace::StaticInst> &payload) const;
+
+    /**
+     * Human-readable reason the site is rejected, or an empty string
+     * when it is admitted.
+     */
+    std::string rejectReason(
+        std::size_t fn, std::size_t block,
+        const std::vector<trace::StaticInst> &payload) const;
+
+    /** Counting trace::SiteFilter bound to this gate. */
+    trace::SiteFilter filter();
+
+    std::size_t admitted() const { return admitted_; }
+    std::size_t rejected() const { return rejected_; }
+
+  private:
+    const trace::Program *prog_;
+    std::vector<Liveness> liveness_;     ///< per function, observable
+    std::vector<bool> regionsRead_;      ///< non-frame reads per region
+    std::size_t admitted_ = 0;
+    std::size_t rejected_ = 0;
+};
+
+} // namespace rhmd::analysis
+
+#endif // RHMD_ANALYSIS_PRESERVATION_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Pass manager implementation.
+ */
+
+#include "analysis/verifier.hh"
+
+#include "analysis/preservation.hh"
+
+namespace rhmd::analysis
+{
+
+void
+CfgVerifyPass::run(const trace::Program &prog, Report &report) const
+{
+    checkProgramCfg(prog, report, options_);
+}
+
+void
+PreservationPass::run(const trace::Program &prog, Report &report) const
+{
+    checkPreservation(prog, report);
+}
+
+Verifier::Verifier(const CfgOptions &cfg_options)
+{
+    passes_.push_back(std::make_unique<CfgVerifyPass>(cfg_options));
+    passes_.push_back(std::make_unique<PreservationPass>());
+}
+
+Verifier
+Verifier::empty()
+{
+    Verifier v;
+    v.passes_.clear();
+    return v;
+}
+
+void
+Verifier::addPass(std::unique_ptr<Pass> pass)
+{
+    passes_.push_back(std::move(pass));
+}
+
+Report
+Verifier::run(const trace::Program &prog) const
+{
+    Report report;
+    for (const auto &pass : passes_) {
+        const std::size_t errors_before = report.errorCount();
+        pass->run(prog, report);
+        // Later passes assume the invariants earlier ones establish
+        // (dataflow indexes blocks by just-checked branch targets).
+        if (report.errorCount() != errors_before)
+            break;
+    }
+    return report;
+}
+
+Report
+verifyProgram(const trace::Program &prog)
+{
+    return Verifier().run(prog);
+}
+
+} // namespace rhmd::analysis

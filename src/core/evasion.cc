@@ -6,7 +6,10 @@
 #include "core/evasion.hh"
 
 #include <algorithm>
+#include <utility>
 
+#include "analysis/preservation.hh"
+#include "analysis/verifier.hh"
 #include "support/logging.hh"
 #include "uarch/perf_counters.hh"
 
@@ -48,6 +51,36 @@ eventDriverOpcode(uarch::Event event)
         // semantics-free straight-line payload; dilute instead.
         return trace::OpClass::Nop;
     }
+}
+
+/**
+ * Run one rewrite with every candidate site routed through a
+ * semantic-preservation gate, verify the result, and fold the gate's
+ * counters into @p audit. @p rewrite receives the gate's SiteFilter
+ * and returns the rewritten program.
+ */
+template <typename Rewrite>
+trace::Program
+gatedRewrite(const trace::Program &malware, EvasionAudit *audit,
+             Rewrite &&rewrite)
+{
+    analysis::InjectionGate gate(malware);
+    trace::Program out =
+        std::forward<Rewrite>(rewrite)(gate.filter());
+    const analysis::Report report = analysis::verifyProgram(out);
+    if (!report.clean()) {
+        for (const analysis::Finding &finding : report.findings()) {
+            if (finding.severity == analysis::Severity::Error)
+                rhmd_panic("gated evasion rewrite failed verification (",
+                           report.summary(), "): ", finding.message);
+        }
+    }
+    if (audit != nullptr) {
+        audit->admittedSites += gate.admitted();
+        audit->rejectedSites += gate.rejected();
+        audit->verifiedPrograms += 1;
+    }
+    return out;
 }
 
 } // namespace
@@ -102,7 +135,8 @@ modelPayload(const Hmd &model, std::size_t count)
 trace::Program
 evadeAllDetectors(const trace::Program &malware,
                   const std::vector<const Hmd *> &models,
-                  trace::InjectLevel level, std::size_t count_per_model)
+                  trace::InjectLevel level, std::size_t count_per_model,
+                  EvasionAudit *audit)
 {
     fatal_if(models.empty(), "evadeAllDetectors needs models");
     if (count_per_model == 0)
@@ -114,21 +148,28 @@ evadeAllDetectors(const trace::Program &malware,
         const auto part = modelPayload(*model, count_per_model);
         payload.insert(payload.end(), part.begin(), part.end());
     }
-    return trace::Injector::apply(malware, level, payload);
+    return gatedRewrite(malware, audit,
+                        [&](const trace::SiteFilter &filter) {
+                            return trace::Injector::apply(
+                                malware, level, payload, filter);
+                        });
 }
 
 trace::Program
 evadeRewrite(const trace::Program &malware, const EvasionPlan &plan,
-             const Hmd *model)
+             const Hmd *model, EvasionAudit *audit)
 {
     if (plan.count == 0)
         return malware;
 
     switch (plan.strategy) {
       case EvasionStrategy::Random:
-        return trace::Injector::applyRandom(malware, plan.level,
-                                            plan.count,
-                                            plan.seed ^ malware.seed);
+        return gatedRewrite(
+            malware, audit, [&](const trace::SiteFilter &filter) {
+                return trace::Injector::applyRandom(
+                    malware, plan.level, plan.count,
+                    plan.seed ^ malware.seed, filter);
+            });
       case EvasionStrategy::LeastWeight: {
         fatal_if(model == nullptr,
                  "least-weight evasion needs a detector model");
@@ -139,14 +180,22 @@ evadeRewrite(const trace::Program &malware, const EvasionPlan &plan,
         const trace::OpClass op = candidates.front().first;
         std::vector<trace::StaticInst> payload(
             plan.count, trace::makePayloadInst(op));
-        return trace::Injector::apply(malware, plan.level, payload);
+        return gatedRewrite(
+            malware, audit, [&](const trace::SiteFilter &filter) {
+                return trace::Injector::apply(malware, plan.level,
+                                              payload, filter);
+            });
       }
       case EvasionStrategy::Weighted: {
         fatal_if(model == nullptr,
                  "weighted evasion needs a detector model");
-        return trace::Injector::applyWeighted(
-            malware, plan.level, plan.count,
-            model->negativeWeightOpcodes(), plan.seed ^ malware.seed);
+        return gatedRewrite(
+            malware, audit, [&](const trace::SiteFilter &filter) {
+                return trace::Injector::applyWeighted(
+                    malware, plan.level, plan.count,
+                    model->negativeWeightOpcodes(),
+                    plan.seed ^ malware.seed, filter);
+            });
       }
     }
     rhmd_panic("bad evasion strategy");

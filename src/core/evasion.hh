@@ -37,12 +37,32 @@ struct EvasionPlan
 };
 
 /**
+ * Gate counters accumulated across one or more rewrites. Every
+ * candidate injection site is screened by an analysis::InjectionGate
+ * (would the payload clobber live state?); rejected sites are left
+ * untouched rather than rewritten unsoundly.
+ */
+struct EvasionAudit
+{
+    std::size_t admittedSites = 0;  ///< sites rewritten
+    std::size_t rejectedSites = 0;  ///< clobbering sites skipped
+    std::size_t verifiedPrograms = 0; ///< variants that passed the verifier
+};
+
+/**
  * Rewrite one malware program according to the plan. @p model guides
  * the LeastWeight and Weighted strategies (it is ignored — and may
  * be null — for Random). count == 0 returns an unmodified copy.
+ *
+ * Every candidate site is screened by a semantic-preservation gate
+ * and the rewritten variant is verified (analysis::verifyProgram)
+ * before it is returned; a variant that fails verification is a
+ * library bug and aborts. @p audit, when non-null, accumulates the
+ * gate's counters.
  */
 trace::Program evadeRewrite(const trace::Program &malware,
-                            const EvasionPlan &plan, const Hmd *model);
+                            const EvasionPlan &plan, const Hmd *model,
+                            EvasionAudit *audit = nullptr);
 
 /**
  * Feature-appropriate payload against one detector model (@p count
@@ -67,7 +87,8 @@ std::vector<trace::StaticInst> modelPayload(const Hmd &model,
 trace::Program evadeAllDetectors(const trace::Program &malware,
                                  const std::vector<const Hmd *> &models,
                                  trace::InjectLevel level,
-                                 std::size_t count_per_model);
+                                 std::size_t count_per_model,
+                                 EvasionAudit *audit = nullptr);
 
 } // namespace rhmd::core
 

@@ -78,14 +78,15 @@ Experiment::trainVictim(const std::string &algorithm,
 
 std::vector<features::ProgramFeatures>
 Experiment::extractEvasive(const std::vector<std::size_t> &program_idx,
-                           const EvasionPlan &plan, const Hmd *model) const
+                           const EvasionPlan &plan, const Hmd *model,
+                           EvasionAudit *audit) const
 {
     std::vector<features::ProgramFeatures> out;
     out.reserve(program_idx.size());
     for (std::size_t idx : program_idx) {
         panic_if(idx >= programs_.size(), "program index out of range");
         const trace::Program rewritten =
-            evadeRewrite(programs_[idx], plan, model);
+            evadeRewrite(programs_[idx], plan, model, audit);
         out.push_back(features::extractProgram(rewritten, extract_));
     }
     return out;

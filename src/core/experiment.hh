@@ -81,13 +81,17 @@ class Experiment
     /**
      * Rewrite the given malware programs per the evasion plan and
      * re-extract their features (same execution salt, so behavioural
-     * differences come only from the injected code).
+     * differences come only from the injected code). Every variant
+     * passes through the preservation gate and verifier inside
+     * evadeRewrite(); @p audit, when non-null, accumulates the gate
+     * counters across all programs.
      *
      * @return one ProgramFeatures per input index, in order.
      */
     std::vector<features::ProgramFeatures>
     extractEvasive(const std::vector<std::size_t> &program_idx,
-                   const EvasionPlan &plan, const Hmd *model) const;
+                   const EvasionPlan &plan, const Hmd *model,
+                   EvasionAudit *audit = nullptr) const;
 
     /**
      * Program-level detection rate of @p detector over the given

@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "analysis/verifier.hh"
 #include "support/logging.hh"
 
 namespace rhmd::runtime
@@ -29,6 +30,24 @@ DetectionRuntime::DetectionRuntime(const core::Rhmd &pool,
       health_(pool.poolSize(), config.health), rng_(config.seed),
       selectionCounts_(pool.poolSize(), 0)
 {
+}
+
+support::Status
+DetectionRuntime::admitProgram(const trace::Program &prog)
+{
+    const analysis::Report report = analysis::verifyProgram(prog);
+    if (!report.clean()) {
+        ++rejectedPrograms_;
+        for (const analysis::Finding &finding : report.findings()) {
+            if (finding.severity == analysis::Severity::Error)
+                return support::invalidArgumentError(
+                    "program rejected at admission (", report.summary(),
+                    "): [", finding.pass, "/", finding.code, "] ",
+                    finding.message);
+        }
+    }
+    ++admittedPrograms_;
+    return support::Status();
 }
 
 support::StatusOr<features::RawWindow>

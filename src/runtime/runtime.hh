@@ -25,6 +25,7 @@
 #include "runtime/health.hh"
 #include "support/retry.hh"
 #include "support/status.hh"
+#include "trace/program.hh"
 
 namespace rhmd::runtime
 {
@@ -101,6 +102,21 @@ class DetectionRuntime
     processProgram(const features::ProgramFeatures &prog);
 
     /**
+     * Admission check for untrusted program IR arriving at the
+     * deployment boundary (e.g. evasive variants queued for
+     * retraining): run the static verifier and reject — with
+     * InvalidArgument naming the first error — anything malformed or
+     * carrying a clobbering rewrite. Counted, never aborts.
+     */
+    support::Status admitProgram(const trace::Program &prog);
+
+    /** Programs admitProgram() accepted. */
+    std::size_t admittedPrograms() const { return admittedPrograms_; }
+
+    /** Programs admitProgram() rejected. */
+    std::size_t rejectedPrograms() const { return rejectedPrograms_; }
+
+    /**
      * Detection rate over several programs: the fraction whose
      * program-level decision is "malware". Programs whose run fails
      * outright count as not-detected (a fail-open deployment).
@@ -133,6 +149,8 @@ class DetectionRuntime
     Rng rng_;
     std::vector<std::size_t> selectionCounts_;
     std::size_t failedPrograms_ = 0;
+    std::size_t admittedPrograms_ = 0;
+    std::size_t rejectedPrograms_ = 0;
 };
 
 } // namespace rhmd::runtime

@@ -40,12 +40,25 @@ struct MemRef
     std::uint8_t alignOffset = 0; ///< forces misalignment when != 0
 };
 
-/** One static (non-terminator) instruction. */
+/**
+ * One static (non-terminator) instruction.
+ *
+ * Register operands follow the opcode's signature (OpInfo::numSrc /
+ * hasDst); positions beyond the signature are ignored. The defaults
+ * name the injector-reserved scratch registers, so a
+ * default-constructed instruction can never clobber program state —
+ * handcrafted test programs and payload builders start safe and opt
+ * *into* touching allocatable registers.
+ */
 struct StaticInst
 {
     OpClass op = OpClass::Nop;
     MemRef mem;  ///< meaningful only when accessesMemory(op)
     bool injected = false;  ///< inserted by the evasion rewriter
+
+    RegId dst = kRegScratch1;   ///< written when opInfo(op).hasDst
+    RegId src1 = kRegScratch0;  ///< read when numSrc >= 1
+    RegId src2 = kRegScratch0;  ///< read when numSrc == 2
 };
 
 /** Control-flow kind ending a basic block. */
@@ -58,7 +71,13 @@ enum class TermKind : std::uint8_t
     Exit,        ///< program exit (modelled as a syscall)
 };
 
-/** Terminator of a basic block. */
+/**
+ * Terminator of a basic block.
+ *
+ * Conditional branches are compare-and-branch: the condition is the
+ * comparison of condSrc1 and condSrc2, read by the terminator itself
+ * (there is no flags register in this IR; see OpInfo).
+ */
 struct Terminator
 {
     TermKind kind = TermKind::Exit;
@@ -67,6 +86,9 @@ struct Terminator
                                    ///< Call continuation block
     double takenProb = 0.5;        ///< CondBranch taken probability
     std::uint32_t callee = 0;      ///< Call: target function index
+
+    RegId condSrc1 = kRegScratch0; ///< CondBranch: compared registers
+    RegId condSrc2 = kRegScratch0;
 };
 
 /**

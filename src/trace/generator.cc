@@ -80,6 +80,48 @@ ProgramGenerator::makeInst(const FamilyProfile &profile, Rng &rng,
     return inst;
 }
 
+void
+assignRegisters(Program &program, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const auto gp = [&rng] {
+        return static_cast<RegId>(rng.below(kNumGpRegs));
+    };
+    for (Function &fn : program.functions) {
+        for (BasicBlock &block : fn.blocks) {
+            // Rolling window of recent definitions: sources prefer
+            // them, so liveness and def-use chains resemble the
+            // short-range dependences of compiled straight-line code.
+            std::vector<RegId> recent;
+            const auto src = [&] {
+                if (!recent.empty() && rng.chance(0.6))
+                    return recent[recent.size() - 1 -
+                                  rng.below(recent.size())];
+                return gp();
+            };
+            for (StaticInst &inst : block.body) {
+                const OpInfo &info = opInfo(inst.op);
+                if (info.numSrc >= 1)
+                    inst.src1 = src();
+                if (info.numSrc >= 2)
+                    inst.src2 = src();
+                if (info.hasDst) {
+                    inst.dst = gp();
+                    recent.push_back(inst.dst);
+                    if (recent.size() > 4)
+                        recent.erase(recent.begin());
+                }
+            }
+            if (block.term.kind == TermKind::CondBranch) {
+                block.term.condSrc1 =
+                    !recent.empty() && rng.chance(0.75) ? recent.back()
+                                                        : gp();
+                block.term.condSrc2 = gp();
+            }
+        }
+    }
+}
+
 Function
 ProgramGenerator::makeFunction(const FamilyProfile &profile, Rng &rng,
                                std::size_t fn_index, std::size_t fn_count,
@@ -235,6 +277,11 @@ ProgramGenerator::generate(const FamilyProfile &profile,
             makeFunction(profile, rng, f, fn_count, fn_mix,
                          mean_block_len, prog.regions.size()));
     }
+
+    // Registers come from a forked stream so the allocation pass can
+    // evolve without disturbing the structural draws above (corpus
+    // shapes — and every figure derived from them — stay identical).
+    assignRegisters(prog, seed ^ 0x5ee0c0de5eedULL);
 
     prog.layoutCode();
     prog.validate();

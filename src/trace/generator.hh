@@ -56,6 +56,20 @@ struct GeneratorConfig
 };
 
 /**
+ * Assign register operands to every instruction and terminator of a
+ * program, honouring the ABI in trace/isa.hh: bodies allocate from
+ * r0..r11 (never the injector-reserved scratch registers), sources
+ * are biased towards recently defined registers so def-use chains
+ * look like compiled code, and compare-and-branch terminators read
+ * two allocatable registers.
+ *
+ * This runs as a post-pass over an already-built CFG — deliberately
+ * fed by its own Rng stream — so register allocation perturbs neither
+ * program structure nor any dynamic statistic.
+ */
+void assignRegisters(Program &program, std::uint64_t seed);
+
+/**
  * Generates programs deterministically: program i of a given corpus
  * config always has the same structure.
  */

@@ -34,6 +34,13 @@ makePayloadInst(OpClass op, std::int32_t stride)
     StaticInst inst;
     inst.op = op;
     inst.injected = true;
+    // Operands stay on the injector-reserved scratch registers (the
+    // StaticInst defaults): the payload may only read and write t0/t1,
+    // which generated program code never names, so the liveness-based
+    // preservation checker can prove the payload observationally dead.
+    inst.dst = kRegScratch1;
+    inst.src1 = kRegScratch0;
+    inst.src2 = kRegScratch1;
     if (accessesMemory(inst.op)) {
         if (stride == 0) {
             // Default: walk the stack region with an ordinary local-
@@ -72,14 +79,19 @@ isSite(const BasicBlock &block, InjectLevel level)
 /** Core rewriting loop: payload chosen per site by a callback. */
 template <typename PayloadFn>
 Program
-rewrite(const Program &original, InjectLevel level, PayloadFn &&payload_fn)
+rewrite(const Program &original, InjectLevel level, PayloadFn &&payload_fn,
+        const SiteFilter &filter)
 {
     Program modified = original;
-    for (Function &fn : modified.functions) {
-        for (BasicBlock &block : fn.blocks) {
+    for (std::size_t f = 0; f < modified.functions.size(); ++f) {
+        Function &fn = modified.functions[f];
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            BasicBlock &block = fn.blocks[b];
             if (!isSite(block, level))
                 continue;
             const std::vector<StaticInst> payload = payload_fn();
+            if (filter && !filter(f, b, payload))
+                continue;
             block.body.insert(block.body.end(), payload.begin(),
                               payload.end());
         }
@@ -93,16 +105,17 @@ rewrite(const Program &original, InjectLevel level, PayloadFn &&payload_fn)
 
 Program
 Injector::apply(const Program &original, InjectLevel level,
-                const std::vector<StaticInst> &payload)
+                const std::vector<StaticInst> &payload,
+                const SiteFilter &filter)
 {
-    return rewrite(original, level, [&] { return payload; });
+    return rewrite(original, level, [&] { return payload; }, filter);
 }
 
 Program
 Injector::applyWeighted(
     const Program &original, InjectLevel level, std::size_t count,
     const std::vector<std::pair<OpClass, double>> &weighted_ops,
-    std::uint64_t seed)
+    std::uint64_t seed, const SiteFilter &filter)
 {
     fatal_if(weighted_ops.empty(),
              "weighted injection requires at least one opcode");
@@ -121,12 +134,13 @@ Injector::applyWeighted(
             payload.push_back(makePayloadInst(weighted_ops[pick].first));
         }
         return payload;
-    });
+    }, filter);
 }
 
 Program
 Injector::applyRandom(const Program &original, InjectLevel level,
-                      std::size_t count, std::uint64_t seed)
+                      std::size_t count, std::uint64_t seed,
+                      const SiteFilter &filter)
 {
     Rng rng(seed);
     // Candidate pool: every semantics-free opcode class.
@@ -143,7 +157,7 @@ Injector::applyRandom(const Program &original, InjectLevel level,
             payload.push_back(
                 makePayloadInst(pool[rng.below(pool.size())]));
         return payload;
-    });
+    }, filter);
 }
 
 std::size_t

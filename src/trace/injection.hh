@@ -19,6 +19,7 @@
 #define RHMD_TRACE_INJECTION_HH
 
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -54,9 +55,21 @@ bool isInjectable(OpClass op);
 StaticInst makePayloadInst(OpClass op, std::int32_t stride = 0);
 
 /**
+ * Per-site admission predicate for the rewriter: called with the
+ * function index, block index, and the payload about to be appended
+ * to that block. Returning false skips the site (the program keeps
+ * its original body there). The static-analysis layer supplies
+ * liveness-based filters (analysis::InjectionGate); the rewriter
+ * itself stays analysis-agnostic.
+ */
+using SiteFilter = std::function<bool(
+    std::size_t fn, std::size_t block,
+    const std::vector<StaticInst> &payload)>;
+
+/**
  * Instruction-injection rewriter. All methods return a modified
  * *copy* of the program with code addresses re-laid-out, leaving the
- * original untouched.
+ * original untouched. An empty @p filter admits every site.
  */
 class Injector
 {
@@ -67,7 +80,8 @@ class Injector
      * injection uses a payload of N copies of one opcode).
      */
     static Program apply(const Program &original, InjectLevel level,
-                         const std::vector<StaticInst> &payload);
+                         const std::vector<StaticInst> &payload,
+                         const SiteFilter &filter = {});
 
     /**
      * Weighted strategy: at each site, each of the @p count payload
@@ -79,7 +93,7 @@ class Injector
     static Program applyWeighted(
         const Program &original, InjectLevel level, std::size_t count,
         const std::vector<std::pair<OpClass, double>> &weighted_ops,
-        std::uint64_t seed);
+        std::uint64_t seed, const SiteFilter &filter = {});
 
     /**
      * Random strategy (the paper's control experiment): each site
@@ -87,7 +101,8 @@ class Injector
      * non-control-flow classes.
      */
     static Program applyRandom(const Program &original, InjectLevel level,
-                               std::size_t count, std::uint64_t seed);
+                               std::size_t count, std::uint64_t seed,
+                               const SiteFilter &filter = {});
 
     /** Number of injection sites the level has in the program. */
     static std::size_t siteCount(const Program &program,

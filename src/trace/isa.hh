@@ -21,6 +21,43 @@ namespace rhmd::trace
 {
 
 /**
+ * Abstract architectural register identifiers.
+ *
+ * The register file exists for the static-analysis layer: liveness
+ * and the semantic-preservation checker reason about which values an
+ * injected instruction could clobber. The dynamic side (executor,
+ * feature extraction, uarch models) never reads register operands, so
+ * the file is deliberately small and unified (no separate FP bank).
+ *
+ * Convention (an ABI the generator and the evasion rewriter share):
+ *  - r0            return value / exit code
+ *  - r1..r3        argument registers (conservatively live at calls)
+ *  - r0..r11       allocatable by generated program code
+ *  - t0, t1        injector-reserved scratch; generated code never
+ *                  names them, so they are dead at every program
+ *                  point of an original program
+ *  - sp            stack pointer (implicit in push/pop/call/ret and
+ *                  stack-slot addressing)
+ */
+using RegId = std::uint8_t;
+
+constexpr RegId kRegRet = 0;        ///< r0: ABI return value
+constexpr RegId kRegArg0 = 1;       ///< r1: first argument register
+constexpr RegId kRegArg1 = 2;       ///< r2
+constexpr RegId kRegArg2 = 3;       ///< r3
+constexpr std::size_t kNumGpRegs = 12;  ///< r0..r11 allocatable
+constexpr RegId kRegScratch0 = 12;  ///< t0: injector-reserved
+constexpr RegId kRegScratch1 = 13;  ///< t1: injector-reserved
+constexpr RegId kRegSp = 14;        ///< sp
+constexpr std::size_t kNumRegs = 15;
+
+/** Register name for diagnostics ("r0".."r11", "t0", "t1", "sp"). */
+std::string_view regName(RegId reg);
+
+/** True for the injector-reserved scratch registers. */
+bool isScratchReg(RegId reg);
+
+/**
  * Opcode classes. Order is part of the library ABI: feature vectors
  * index histograms by the numeric value, and serialized models
  * reference these indices.
@@ -66,7 +103,17 @@ enum class OpClass : std::uint8_t
 constexpr std::size_t kNumOpClasses =
     static_cast<std::size_t>(OpClass::NumOpClasses);
 
-/** Static attributes of an opcode class. */
+/**
+ * Static attributes of an opcode class.
+ *
+ * The operand signature (numSrc/hasDst) drives the dataflow analyses:
+ * an instruction reads its first numSrc source registers and, when
+ * hasDst, writes its destination register. There is no hidden flags
+ * register — conditional branches in this IR are compare-and-branch
+ * (RISC-style) and read their two condition registers directly, so
+ * straight-line arithmetic never carries an implicit dependence into
+ * a terminator.
+ */
 struct OpInfo
 {
     std::string_view name;  ///< mnemonic-like label
@@ -76,6 +123,8 @@ struct OpInfo
     bool isUncondCtrl;      ///< jmp/call/ret
     std::uint8_t bytes;     ///< typical encoded size in bytes
     std::uint8_t latency;   ///< typical execute latency in cycles
+    std::uint8_t numSrc;    ///< register sources read (0-2)
+    bool hasDst;            ///< writes a destination register
 };
 
 /** Attribute lookup for an opcode class. */

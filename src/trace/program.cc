@@ -106,9 +106,14 @@ Program::validate() const
               case TermKind::Exit:
                 break;
             }
+            panic_if(term.condSrc1 >= kNumRegs || term.condSrc2 >= kNumRegs,
+                     "terminator register out of range in '", name, "'");
             for (const StaticInst &inst : fn.blocks[b].body) {
                 panic_if(isControlFlow(inst.op),
                          "control-flow op in block body of '", name, "'");
+                panic_if(inst.dst >= kNumRegs || inst.src1 >= kNumRegs ||
+                         inst.src2 >= kNumRegs,
+                         "register operand out of range in '", name, "'");
                 if (accessesMemory(inst.op) &&
                     inst.mem.pattern != AddrPattern::StackSlot) {
                     panic_if(inst.mem.region >= regions.size(),
