@@ -15,8 +15,9 @@ using namespace rhmd;
 using namespace rhmd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("Ablation: resilience vs pool size and diversity",
            "quantifies 'resilience increases with the number and "
            "diversity of detectors'");
@@ -85,5 +86,5 @@ main()
                 "evasive-malware detection rises\nwith pool size, at "
                 "a modest cost in baseline accuracy (Theorem 1's "
                 "trade-off).\n");
-    return 0;
+    return bench::finish();
 }

@@ -16,8 +16,9 @@ using namespace rhmd;
 using namespace rhmd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("Deterministic ensemble vs randomized pool",
            "Sec. 9.1's contrast with ensemble HMDs (RAID 2015)");
 
@@ -84,5 +85,5 @@ main()
                 "(deterministic), and its evasive-malware detection "
                 "suffers\naccordingly; the RHMD trades a little "
                 "accuracy for resilience.\n");
-    return 0;
+    return bench::finish();
 }

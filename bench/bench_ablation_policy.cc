@@ -15,8 +15,9 @@ using namespace rhmd;
 using namespace rhmd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("Ablation: the selection-policy trade-off",
            "Sec. 8: accuracy under no attack vs reverse-engineering "
            "difficulty");
@@ -83,5 +84,5 @@ main()
                 "uniform switching lowers the\nattacker's agreement "
                 "and raises the Theorem-1 floor, trading a little\n"
                 "baseline accuracy for resilience.\n");
-    return 0;
+    return bench::finish();
 }

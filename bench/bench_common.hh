@@ -7,28 +7,253 @@
  * (see DESIGN.md for the substitutions). Absolute values depend on
  * the corpus; the *shape* of each figure is what must match, and
  * EXPERIMENTS.md records paper-vs-measured per figure.
+ *
+ * Each harness calls bench::init(argc, argv) first and returns
+ * bench::finish() from main. init() parses the shared flags:
+ *
+ *   --threads N   worker threads for the parallel hot paths
+ *                 (default: RHMD_THREADS env, then hardware)
+ *   --smoke       CI-sized corpus (also RHMD_SMOKE=1)
+ *
+ * finish() emits a machine-readable BENCH_<name>.json (wall time,
+ * thread count, speedup vs the recorded serial baseline, and every
+ * table the run printed) into $RHMD_BENCH_JSON_DIR when that is set.
+ * The tables are byte-identical across thread counts — the CI
+ * bench-regression job diffs them between --threads 1 and
+ * --threads $(nproc) runs.
  */
 
 #ifndef RHMD_BENCH_BENCH_COMMON_HH
 #define RHMD_BENCH_BENCH_COMMON_HH
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hh"
 #include "core/reverse_engineer.hh"
 #include "core/rhmd.hh"
 #include "ml/metrics.hh"
 #include "support/csv.hh"
+#include "support/parallel.hh"
 #include "support/table.hh"
 
 namespace rhmd::bench
 {
 
-/** The standard bench corpus (paper: 554 benign + 3000 malware). */
+/** One printed table, captured for the JSON report. */
+struct TableRecord
+{
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Mutable per-binary session state behind init()/finish(). */
+struct Session
+{
+    std::string name;          ///< binary name minus "bench_" prefix
+    std::size_t threads = 1;
+    bool smoke = false;
+    std::chrono::steady_clock::time_point start;
+    std::vector<TableRecord> tables;
+};
+
+inline Session &
+session()
+{
+    static Session s;
+    return s;
+}
+
+/** True when running the CI-sized smoke corpus. */
+inline bool
+smoke()
+{
+    return session().smoke;
+}
+
+/**
+ * Parse the shared bench flags, size the global thread pool, and
+ * start the wall clock. Call first in every harness main().
+ */
+inline void
+init(int argc, char **argv)
+{
+    Session &s = session();
+    s.name = program_invocation_short_name;
+    if (s.name.rfind("bench_", 0) == 0)
+        s.name = s.name.substr(6);
+
+    const char *smoke_env = std::getenv("RHMD_SMOKE");
+    s.smoke = smoke_env != nullptr && *smoke_env != '\0' &&
+              std::strcmp(smoke_env, "0") != 0;
+
+    std::size_t threads = 0;  // 0 = RHMD_THREADS env, then hardware
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+            threads = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--smoke") {
+            s.smoke = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--threads N] [--smoke]\n", argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
+                         arg.c_str());
+            std::exit(2);
+        }
+    }
+    support::setGlobalThreads(threads);
+    s.threads = support::globalThreads();
+    s.start = std::chrono::steady_clock::now();
+}
+
+namespace detail
+{
+
+inline std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Look up this bench's serial wall-time baseline in the checked-in
+ * bench/baseline.json ($RHMD_BENCH_BASELINE overrides the path).
+ * Returns a negative value when no baseline is recorded. The file is
+ * a flat {"<name>": seconds} object; the scan below is enough for
+ * that shape.
+ */
+inline double
+serialBaselineSeconds(const std::string &name)
+{
+    const char *env = std::getenv("RHMD_BENCH_BASELINE");
+    const std::string path =
+        env != nullptr ? env : "bench/baseline.json";
+    std::ifstream in(path);
+    if (!in)
+        return -1.0;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const std::string key = "\"" + name + "\"";
+    std::size_t pos = text.find(key);
+    if (pos == std::string::npos)
+        return -1.0;
+    pos = text.find(':', pos + key.size());
+    if (pos == std::string::npos)
+        return -1.0;
+    return std::strtod(text.c_str() + pos + 1, nullptr);
+}
+
+} // namespace detail
+
+/**
+ * Stop the clock and, when $RHMD_BENCH_JSON_DIR names a directory,
+ * write BENCH_<name>.json there. Returns the process exit code.
+ */
+inline int
+finish()
+{
+    Session &s = session();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      s.start)
+            .count();
+    std::printf("\n[bench %s] wall %.3fs, %zu thread%s%s\n",
+                s.name.c_str(), wall, s.threads,
+                s.threads == 1 ? "" : "s", s.smoke ? ", smoke" : "");
+
+    const char *dir = std::getenv("RHMD_BENCH_JSON_DIR");
+    if (dir == nullptr)
+        return 0;
+
+    const double baseline = detail::serialBaselineSeconds(s.name);
+    std::string json = "{\n";
+    json += "  \"bench\": \"" + detail::jsonEscape(s.name) + "\",\n";
+    json += "  \"threads\": " + std::to_string(s.threads) + ",\n";
+    json += "  \"smoke\": " + std::string(s.smoke ? "true" : "false") +
+            ",\n";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", wall);
+    json += "  \"wall_seconds\": " + std::string(buf) + ",\n";
+    if (baseline > 0.0) {
+        std::snprintf(buf, sizeof(buf), "%.6f", baseline);
+        json += "  \"baseline_serial_seconds\": " + std::string(buf) +
+                ",\n";
+        std::snprintf(buf, sizeof(buf), "%.3f", baseline / wall);
+        json += "  \"speedup\": " + std::string(buf) + ",\n";
+    } else {
+        json += "  \"baseline_serial_seconds\": null,\n";
+        json += "  \"speedup\": null,\n";
+    }
+    json += "  \"tables\": [\n";
+    for (std::size_t t = 0; t < s.tables.size(); ++t) {
+        const TableRecord &table = s.tables[t];
+        json += "    {\"headers\": [";
+        for (std::size_t h = 0; h < table.headers.size(); ++h) {
+            json += (h > 0 ? ", " : "");
+            json += "\"" + detail::jsonEscape(table.headers[h]) + "\"";
+        }
+        json += "], \"rows\": [\n";
+        for (std::size_t r = 0; r < table.rows.size(); ++r) {
+            json += "      [";
+            for (std::size_t c = 0; c < table.rows[r].size(); ++c) {
+                json += (c > 0 ? ", " : "");
+                json += "\"" + detail::jsonEscape(table.rows[r][c]) +
+                        "\"";
+            }
+            json += r + 1 < table.rows.size() ? "],\n" : "]\n";
+        }
+        json += t + 1 < s.tables.size() ? "    ]},\n" : "    ]}\n";
+    }
+    json += "  ]\n}\n";
+
+    const std::string path =
+        std::string(dir) + "/BENCH_" + s.name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    out << json;
+    std::printf("[bench json written to %s]\n", path.c_str());
+    return 0;
+}
+
+/**
+ * The standard bench corpus (paper: 554 benign + 3000 malware;
+ * --smoke shrinks it to CI size).
+ */
 inline core::ExperimentConfig
 standardConfig()
 {
@@ -38,6 +263,11 @@ standardConfig()
     config.malwareCount = 360;
     config.periods = {5000, 10000};
     config.traceInsts = 120000;
+    if (smoke()) {
+        config.benignCount = 60;
+        config.malwareCount = 120;
+        config.traceInsts = 80000;
+    }
     return config;
 }
 
@@ -88,14 +318,15 @@ banner(const std::string &title, const std::string &paper_ref)
 }
 
 /**
- * Print a results table and, when the RHMD_CSV_DIR environment
- * variable names a directory, also write it there as
- * "<bench>_tN.csv" for post-processing/plotting.
+ * Print a results table, record it for the BENCH_<name>.json report,
+ * and, when the RHMD_CSV_DIR environment variable names a directory,
+ * also write it there as "<bench>_tN.csv" for post-processing.
  */
 inline void
 emitTable(const Table &table)
 {
     table.print(std::cout);
+    session().tables.push_back({table.headers(), table.data()});
     const char *dir = std::getenv("RHMD_CSV_DIR");
     if (dir == nullptr)
         return;

@@ -37,8 +37,9 @@ struct Scenario
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("Fault-tolerance sweep: detection under sensor and "
            "detector faults",
            "beyond the paper; cf. Sec. 7 deployment and "
@@ -194,5 +195,5 @@ main()
         std::printf("  invalid policy       -> %s\n",
                     status.toString().c_str());
     }
-    return 0;
+    return bench::finish();
 }

@@ -11,8 +11,9 @@ using namespace rhmd;
 using namespace rhmd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("Baseline detector performance",
            "Fig. 2: AUC and accuracy, LR & NN x "
            "{Instructions, Memory, Architectural}");
@@ -40,5 +41,5 @@ main()
     std::printf("\nShape to match the paper: AUC in the high-80s to "
                 "mid-90s, accuracy slightly\nbelow AUC, Instructions "
                 "the strongest family.\n");
-    return 0;
+    return bench::finish();
 }

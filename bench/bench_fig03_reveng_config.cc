@@ -15,8 +15,9 @@ using namespace rhmd;
 using namespace rhmd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("Reverse-engineering the victim configuration",
            "Fig. 3a (collection periods) and Fig. 3b (features)");
 
@@ -35,38 +36,52 @@ main()
 
     std::printf("victim: %s\n\n(a) agreement vs attacker collection "
                 "period\n", victim->describe().c_str());
-    Table periods({"period", "LR", "DT", "SVM"});
+    // Row-major (period x algorithm) config list; the sweep records
+    // the victim transcript once and trains/scores every attacker
+    // hypothesis in parallel.
+    std::vector<core::ProxyConfig> period_configs;
     for (std::uint32_t period : config.periods) {
+        for (const char *alg : attackers)
+            period_configs.push_back(proxyConfig(
+                alg, features::FeatureKind::Instructions, period));
+    }
+    std::vector<double> agreement = core::sweepProxyConfigs(
+        *victim, exp.corpus(), exp.split().attackerTrain,
+        exp.split().attackerTest, period_configs);
+
+    Table periods({"period", "LR", "DT", "SVM"});
+    for (std::size_t p = 0; p < config.periods.size(); ++p) {
         std::vector<std::string> row{
-            std::to_string(period / 1000) + "k"};
-        for (const char *alg : attackers) {
-            const auto proxy = core::buildProxy(
-                *victim, exp.corpus(), exp.split().attackerTrain,
-                proxyConfig(alg, features::FeatureKind::Instructions,
-                            period));
-            row.push_back(Table::percent(core::proxyAgreement(
-                *victim, *proxy, exp.corpus(),
-                exp.split().attackerTest)));
-        }
+            std::to_string(config.periods[p] / 1000) + "k"};
+        for (std::size_t a = 0; a < std::size(attackers); ++a)
+            row.push_back(Table::percent(
+                agreement[p * std::size(attackers) + a]));
         periods.addRow(row);
     }
     emitTable(periods);
 
     std::printf("\n(b) agreement vs attacker feature family "
                 "(period fixed at the true 10k)\n");
+    const features::FeatureKind kinds[] = {
+        features::FeatureKind::Memory,
+        features::FeatureKind::Instructions,
+        features::FeatureKind::Architectural};
+    std::vector<core::ProxyConfig> kind_configs;
+    for (features::FeatureKind kind : kinds) {
+        for (const char *alg : attackers)
+            kind_configs.push_back(proxyConfig(alg, kind, 10000));
+    }
+    agreement = core::sweepProxyConfigs(
+        *victim, exp.corpus(), exp.split().attackerTrain,
+        exp.split().attackerTest, kind_configs);
+
     Table feats({"feature", "LR", "DT", "SVM"});
-    for (auto kind : {features::FeatureKind::Memory,
-                      features::FeatureKind::Instructions,
-                      features::FeatureKind::Architectural}) {
-        std::vector<std::string> row{features::featureKindName(kind)};
-        for (const char *alg : attackers) {
-            const auto proxy = core::buildProxy(
-                *victim, exp.corpus(), exp.split().attackerTrain,
-                proxyConfig(alg, kind, 10000));
-            row.push_back(Table::percent(core::proxyAgreement(
-                *victim, *proxy, exp.corpus(),
-                exp.split().attackerTest)));
-        }
+    for (std::size_t k = 0; k < std::size(kinds); ++k) {
+        std::vector<std::string> row{
+            features::featureKindName(kinds[k])};
+        for (std::size_t a = 0; a < std::size(attackers); ++a)
+            row.push_back(Table::percent(
+                agreement[k * std::size(attackers) + a]));
         feats.addRow(row);
     }
     emitTable(feats);
@@ -75,5 +90,5 @@ main()
                 "victim's true configuration\n(period 10k, feature "
                 "Instructions), which is how the attacker infers "
                 "them.\n");
-    return 0;
+    return bench::finish();
 }

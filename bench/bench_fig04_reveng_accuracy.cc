@@ -11,8 +11,9 @@ using namespace rhmd;
 using namespace rhmd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("Reverse-engineering efficiency",
            "Fig. 4a (LR victims) and Fig. 4b (NN victims)");
 
@@ -47,5 +48,5 @@ main()
                 "reverse-engineer both victim types with\nhigh "
                 "agreement; the linear LR attacker trails on the "
                 "non-linear NN victims.\n");
-    return 0;
+    return bench::finish();
 }

@@ -13,8 +13,9 @@ using namespace rhmd;
 using namespace rhmd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("Detection under random instruction injection",
            "Fig. 6: random injection, block & function level");
 
@@ -67,5 +68,5 @@ main()
     std::printf("\nShape to match the paper: detection stays high — "
                 "injecting random instructions\ndoes not help evade; "
                 "contrast with bench_fig08_least_weight.\n");
-    return 0;
+    return bench::finish();
 }

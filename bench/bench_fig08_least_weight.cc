@@ -33,8 +33,9 @@ proxyDetectionRate(const core::Hmd &proxy,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("Detection under least-weight injection",
            "Fig. 8a (LR victim) and Fig. 8b (NN victim)");
 
@@ -109,5 +110,5 @@ main()
                 "victim and the reversed model; function-level needs "
                 "more;\nthe NN victim is slightly harder to evade "
                 "than LR.\n");
-    return 0;
+    return bench::finish();
 }

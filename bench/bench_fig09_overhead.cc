@@ -44,8 +44,9 @@ cycleOverhead(const trace::Program &original,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("Static and dynamic overhead of injection",
            "Fig. 9: overhead vs injected instructions");
 
@@ -107,5 +108,5 @@ main()
                 "instruction per block, growing\nroughly linearly; "
                 "function-level injection is far cheaper than "
                 "block-level.\n");
-    return 0;
+    return bench::finish();
 }

@@ -12,8 +12,9 @@ using namespace rhmd;
 using namespace rhmd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("Detection under weighted injection (LR)",
            "Fig. 10: weighted strategy, victim- vs reversed-driven");
 
@@ -68,5 +69,5 @@ main()
     std::printf("\nShape to match the paper: evasion success driven "
                 "by the reversed detector is\nalmost equal to using "
                 "the actual victim's weights.\n");
-    return 0;
+    return bench::finish();
 }

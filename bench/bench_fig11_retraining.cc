@@ -13,8 +13,9 @@ using namespace rhmd;
 using namespace rhmd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("Effectiveness of retraining",
            "Fig. 11a (logistic regression) and Fig. 11b (neural "
            "network)");
@@ -46,5 +47,5 @@ main()
                 "sensitivity costs sensitivity\non unmodified malware "
                 "(linear inseparability); NN detects both without "
                 "the\ntrade-off; specificity is stable for both.\n");
-    return 0;
+    return bench::finish();
 }

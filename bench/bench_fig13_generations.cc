@@ -16,19 +16,22 @@ using namespace rhmd;
 using namespace rhmd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("The evade-retrain game",
            "Fig. 13: NN detector generations");
 
     core::ExperimentConfig config = standardConfig();
-    config.benignCount = 120;
-    config.malwareCount = 240;
+    if (!smoke()) {
+        config.benignCount = 120;
+        config.malwareCount = 240;
+    }
     const core::Experiment exp = core::Experiment::build(config);
 
     core::GameConfig game;
     game.algorithm = "NN";
-    game.generations = 7;
+    game.generations = smoke() ? 3 : 7;
     const auto points = core::evadeRetrainGame(exp, game);
 
     Table table({"generation", "specificity", "sens (unmodified)",
@@ -52,5 +55,5 @@ main()
                 "the\ngenerations the classification problem gets "
                 "harder and the game degrades\n(watch the training "
                 "accuracy and the unmodified/specificity columns).\n");
-    return 0;
+    return bench::finish();
 }

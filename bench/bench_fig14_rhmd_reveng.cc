@@ -18,13 +18,15 @@ void
 attackPool(const core::Experiment &exp, core::Rhmd &pool,
            const std::vector<features::FeatureKind> &attacker_feats)
 {
-    Table table({"attacker feature", "LR", "DT", "SVM"});
+    // Row-major (feature hypothesis x algorithm) config list; the
+    // randomized pool is queried once (sequentially, preserving its
+    // switching-randomness stream) and every attacker hypothesis is
+    // trained and scored against that transcript in parallel.
+    const char *algorithms[] = {"LR", "DT", "SVM"};
+    std::vector<core::ProxyConfig> configs;
     for (std::size_t f = 0; f <= attacker_feats.size(); ++f) {
         const bool combined = f == attacker_feats.size();
-        std::vector<std::string> row{
-            combined ? "combined"
-                     : features::featureKindName(attacker_feats[f])};
-        for (const char *alg : {"LR", "DT", "SVM"}) {
+        for (const char *alg : algorithms) {
             core::ProxyConfig config;
             config.algorithm = alg;
             if (combined) {
@@ -33,12 +35,22 @@ attackPool(const core::Experiment &exp, core::Rhmd &pool,
             } else {
                 config.specs = {spec(attacker_feats[f], 10000)};
             }
-            const auto proxy = core::buildProxy(
-                pool, exp.corpus(), exp.split().attackerTrain, config);
-            row.push_back(Table::percent(core::proxyAgreement(
-                pool, *proxy, exp.corpus(),
-                exp.split().attackerTest)));
+            configs.push_back(std::move(config));
         }
+    }
+    const std::vector<double> agreement = core::sweepProxyConfigs(
+        pool, exp.corpus(), exp.split().attackerTrain,
+        exp.split().attackerTest, configs);
+
+    Table table({"attacker feature", "LR", "DT", "SVM"});
+    for (std::size_t f = 0; f <= attacker_feats.size(); ++f) {
+        const bool combined = f == attacker_feats.size();
+        std::vector<std::string> row{
+            combined ? "combined"
+                     : features::featureKindName(attacker_feats[f])};
+        for (std::size_t a = 0; a < std::size(algorithms); ++a)
+            row.push_back(Table::percent(
+                agreement[f * std::size(algorithms) + a]));
         table.addRow(row);
     }
     emitTable(table);
@@ -47,8 +59,9 @@ attackPool(const core::Experiment &exp, core::Rhmd &pool,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("Reverse-engineering the RHMD (feature diversity)",
            "Fig. 14a (two-feature pool) and Fig. 14b (three-feature "
            "pool)");
@@ -88,5 +101,5 @@ main()
                 "bench_fig04) and falls further as the pool grows "
                 "from two to three\ndetectors; the combined-feature "
                 "attacker does not recover it.\n");
-    return 0;
+    return bench::finish();
 }

@@ -18,13 +18,15 @@ void
 attackPool(const core::Experiment &exp, core::Rhmd &pool,
            const std::vector<features::FeatureKind> &attacker_feats)
 {
-    Table table({"attacker feature", "LR", "DT", "SVM"});
+    // Row-major (feature hypothesis x algorithm) config list; the
+    // randomized pool is queried once (sequentially, preserving its
+    // switching-randomness stream) and every attacker hypothesis is
+    // trained and scored against that transcript in parallel.
+    const char *algorithms[] = {"LR", "DT", "SVM"};
+    std::vector<core::ProxyConfig> configs;
     for (std::size_t f = 0; f <= attacker_feats.size(); ++f) {
         const bool combined = f == attacker_feats.size();
-        std::vector<std::string> row{
-            combined ? "combined"
-                     : features::featureKindName(attacker_feats[f])};
-        for (const char *alg : {"LR", "DT", "SVM"}) {
+        for (const char *alg : algorithms) {
             core::ProxyConfig config;
             config.algorithm = alg;
             if (combined) {
@@ -33,12 +35,22 @@ attackPool(const core::Experiment &exp, core::Rhmd &pool,
             } else {
                 config.specs = {spec(attacker_feats[f], 10000)};
             }
-            const auto proxy = core::buildProxy(
-                pool, exp.corpus(), exp.split().attackerTrain, config);
-            row.push_back(Table::percent(core::proxyAgreement(
-                pool, *proxy, exp.corpus(),
-                exp.split().attackerTest)));
+            configs.push_back(std::move(config));
         }
+    }
+    const std::vector<double> agreement = core::sweepProxyConfigs(
+        pool, exp.corpus(), exp.split().attackerTrain,
+        exp.split().attackerTest, configs);
+
+    Table table({"attacker feature", "LR", "DT", "SVM"});
+    for (std::size_t f = 0; f <= attacker_feats.size(); ++f) {
+        const bool combined = f == attacker_feats.size();
+        std::vector<std::string> row{
+            combined ? "combined"
+                     : features::featureKindName(attacker_feats[f])};
+        for (std::size_t a = 0; a < std::size(algorithms); ++a)
+            row.push_back(Table::percent(
+                agreement[f * std::size(algorithms) + a]));
         table.addRow(row);
     }
     emitTable(table);
@@ -57,8 +69,9 @@ crossSpecs(const std::vector<features::FeatureKind> &kinds)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("Reverse-engineering the RHMD (features and periods)",
            "Fig. 15a (2 features x 2 periods) and Fig. 15b "
            "(3 features x 2 periods)");
@@ -97,5 +110,5 @@ main()
                 "on top of feature diversity\nmakes reverse-"
                 "engineering harder still (compare with "
                 "bench_fig14).\n");
-    return 0;
+    return bench::finish();
 }

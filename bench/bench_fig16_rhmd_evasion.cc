@@ -34,8 +34,9 @@ poolSpecs(std::size_t n_features, bool two_periods)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("RHMD evasion resilience",
            "Fig. 16: detection of evasive malware vs injected "
            "instructions");
@@ -99,5 +100,5 @@ main()
                 "detector (bench_fig08); more diversity gives a "
                 "flatter curve.\nThe zero-injection row is the "
                 "pool-average accuracy (the randomization cost).\n");
-    return 0;
+    return bench::finish();
 }

@@ -35,8 +35,9 @@ poolSpecs(std::size_t n_features, std::size_t n_periods)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("Hardware cost of the RHMD datapath",
            "Sec. 7: +1.72% area, +0.78% power for 3 features / 1 "
            "period on AO486");
@@ -80,5 +81,5 @@ main()
                 "extra periods only duplicate weight SRAM (the\n"
                 "collection and evaluation logic is shared), so they "
                 "are nearly free.\n");
-    return 0;
+    return bench::finish();
 }

@@ -16,8 +16,9 @@ using namespace rhmd;
 using namespace rhmd::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     banner("PAC-learnability bounds for randomized detection",
            "Sec. 8, Theorem 1 (six-detector pool)");
 
@@ -82,5 +83,5 @@ main()
                 "error sits above the\nweighted-disagreement lower "
                 "bound (the paper measured ~25%% for its\n"
                 "six-detector pool).\n");
-    return 0;
+    return bench::finish();
 }

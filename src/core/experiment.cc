@@ -6,6 +6,7 @@
 #include "core/experiment.hh"
 
 #include "support/logging.hh"
+#include "support/parallel.hh"
 
 namespace rhmd::core
 {
@@ -81,13 +82,37 @@ Experiment::extractEvasive(const std::vector<std::size_t> &program_idx,
                            const EvasionPlan &plan, const Hmd *model,
                            EvasionAudit *audit) const
 {
+    for (std::size_t idx : program_idx)
+        panic_if(idx >= programs_.size(), "program index out of range");
+
+    // Rewrite + re-execute per program. The injection RNG is seeded
+    // with (plan.seed ^ program.seed), so variants are independent
+    // across indices; per-program audits are folded in index order so
+    // the counters match the serial run exactly.
+    struct Variant
+    {
+        features::ProgramFeatures features;
+        EvasionAudit audit;
+    };
     std::vector<features::ProgramFeatures> out;
     out.reserve(program_idx.size());
-    for (std::size_t idx : program_idx) {
-        panic_if(idx >= programs_.size(), "program index out of range");
-        const trace::Program rewritten =
-            evadeRewrite(programs_[idx], plan, model, audit);
-        out.push_back(features::extractProgram(rewritten, extract_));
+    std::vector<Variant> variants =
+        support::parallelMap<Variant>(
+            program_idx.size(), [&](std::size_t i) {
+                Variant v;
+                const trace::Program rewritten = evadeRewrite(
+                    programs_[program_idx[i]], plan, model, &v.audit);
+                v.features =
+                    features::extractProgram(rewritten, extract_);
+                return v;
+            });
+    for (Variant &v : variants) {
+        if (audit != nullptr) {
+            audit->admittedSites += v.audit.admittedSites;
+            audit->rejectedSites += v.audit.rejectedSites;
+            audit->verifiedPrograms += v.audit.verifiedPrograms;
+        }
+        out.push_back(std::move(v.features));
     }
     return out;
 }

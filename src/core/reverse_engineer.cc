@@ -6,16 +6,47 @@
 #include "core/reverse_engineer.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/logging.hh"
+#include "support/parallel.hh"
 
 namespace rhmd::core
 {
 
+VictimTranscript
+VictimTranscript::record(Detector &victim,
+                         const features::FeatureCorpus &corpus,
+                         const std::vector<std::size_t> &program_idx)
+{
+    // Strictly sequential: a randomized victim consumes switching
+    // randomness per epoch, so the order (and number) of queries is
+    // part of the seeded stream. This is the only victim-facing pass;
+    // everything downstream works from the frozen transcript.
+    VictimTranscript transcript;
+    transcript.programIdx_ = program_idx;
+    transcript.decisions_.reserve(program_idx.size());
+    for (std::size_t idx : program_idx) {
+        panic_if(idx >= corpus.programs.size(),
+                 "transcript program index out of range");
+        transcript.decisions_.push_back(
+            victim.decide(corpus.programs[idx]));
+    }
+    return transcript;
+}
+
+const std::vector<int> &
+VictimTranscript::decisions(std::size_t i) const
+{
+    panic_if(i >= decisions_.size(),
+             "transcript has no program ", i);
+    return decisions_[i];
+}
+
 std::unique_ptr<Hmd>
-buildProxy(Detector &victim, const features::FeatureCorpus &corpus,
-           const std::vector<std::size_t> &attacker_train,
-           const ProxyConfig &config)
+buildProxyFromTranscript(const VictimTranscript &transcript,
+                         const features::FeatureCorpus &corpus,
+                         const ProxyConfig &config)
 {
     fatal_if(config.specs.empty(), "proxy needs at least one spec");
     const std::uint32_t attacker_period = config.specs.front().period;
@@ -30,9 +61,11 @@ buildProxy(Detector &victim, const features::FeatureCorpus &corpus,
     // align; when it does not, the pairing drifts apart one window
     // at a time — the mechanism behind the paper's Fig. 3a peak at
     // the true period.
-    for (std::size_t idx : attacker_train) {
-        const features::ProgramFeatures &prog = corpus.programs[idx];
-        const std::vector<int> decisions = victim.decide(prog);
+    const std::vector<std::size_t> &program_idx = transcript.programs();
+    for (std::size_t p = 0; p < program_idx.size(); ++p) {
+        const features::ProgramFeatures &prog =
+            corpus.programs[program_idx[p]];
+        const std::vector<int> &decisions = transcript.decisions(p);
         const auto &attacker_windows = prog.windows(attacker_period);
         const std::size_t n =
             std::min(decisions.size(), attacker_windows.size());
@@ -54,33 +87,94 @@ buildProxy(Detector &victim, const features::FeatureCorpus &corpus,
     return proxy;
 }
 
+std::unique_ptr<Hmd>
+buildProxy(Detector &victim, const features::FeatureCorpus &corpus,
+           const std::vector<std::size_t> &attacker_train,
+           const ProxyConfig &config)
+{
+    const VictimTranscript transcript =
+        VictimTranscript::record(victim, corpus, attacker_train);
+    return buildProxyFromTranscript(transcript, corpus, config);
+}
+
+double
+proxyAgreementOnTranscript(const VictimTranscript &transcript,
+                           const Hmd &proxy,
+                           const features::FeatureCorpus &corpus)
+{
+    const std::uint32_t proxy_period = proxy.decisionPeriod();
+    const std::vector<std::size_t> &program_idx = transcript.programs();
+
+    // Both decision sequences are compared index-wise — "the
+    // percentage of equivalent decisions made by the two detectors"
+    // (Fig. 1b). The proxy side is pure scoring of const state, so
+    // programs are scored concurrently; the integer counts are folded
+    // in program order.
+    struct Counts
+    {
+        std::size_t agree = 0;
+        std::size_t total = 0;
+    };
+    const Counts counts = support::parallelReduce<Counts>(
+        support::globalPool(), program_idx.size(), Counts{},
+        [&](std::size_t p) {
+            const features::ProgramFeatures &prog =
+                corpus.programs[program_idx[p]];
+            const std::vector<int> &victim_decisions =
+                transcript.decisions(p);
+            const auto &proxy_windows = prog.windows(proxy_period);
+            const std::size_t n = std::min(victim_decisions.size(),
+                                           proxy_windows.size());
+            Counts c;
+            for (std::size_t i = 0; i < n; ++i) {
+                const int predicted =
+                    proxy.windowDecision(proxy_windows[i]);
+                c.agree += predicted == victim_decisions[i] ? 1 : 0;
+                ++c.total;
+            }
+            return c;
+        },
+        [](Counts acc, const Counts &c) {
+            acc.agree += c.agree;
+            acc.total += c.total;
+            return acc;
+        });
+    fatal_if(counts.total == 0, "no decisions to compare");
+    return static_cast<double>(counts.agree) /
+           static_cast<double>(counts.total);
+}
+
 double
 proxyAgreement(Detector &victim, const Hmd &proxy,
                const features::FeatureCorpus &corpus,
                const std::vector<std::size_t> &attacker_test)
 {
-    const std::uint32_t proxy_period = proxy.decisionPeriod();
+    const VictimTranscript transcript =
+        VictimTranscript::record(victim, corpus, attacker_test);
+    return proxyAgreementOnTranscript(transcript, proxy, corpus);
+}
 
-    // Both detectors are queried on the test programs and their
-    // decision sequences compared index-wise — "the percentage of
-    // equivalent decisions made by the two detectors" (Fig. 1b).
-    std::size_t agree = 0;
-    std::size_t total = 0;
-    for (std::size_t idx : attacker_test) {
-        const features::ProgramFeatures &prog = corpus.programs[idx];
-        const std::vector<int> victim_decisions = victim.decide(prog);
-        const auto &proxy_windows = prog.windows(proxy_period);
-        const std::size_t n =
-            std::min(victim_decisions.size(), proxy_windows.size());
-        for (std::size_t i = 0; i < n; ++i) {
-            const int predicted =
-                proxy.windowDecision(proxy_windows[i]);
-            agree += predicted == victim_decisions[i] ? 1 : 0;
-            ++total;
-        }
-    }
-    fatal_if(total == 0, "no decisions to compare");
-    return static_cast<double>(agree) / static_cast<double>(total);
+std::vector<double>
+sweepProxyConfigs(Detector &victim,
+                  const features::FeatureCorpus &corpus,
+                  const std::vector<std::size_t> &attacker_train,
+                  const std::vector<std::size_t> &attacker_test,
+                  const std::vector<ProxyConfig> &configs)
+{
+    const VictimTranscript train =
+        VictimTranscript::record(victim, corpus, attacker_train);
+    const VictimTranscript test =
+        VictimTranscript::record(victim, corpus, attacker_test);
+
+    // One attacker hypothesis per index, trained and scored against
+    // the shared transcripts. Each proxy trains from its own
+    // config.seed, so configs are index-independent.
+    return support::parallelMap<double>(
+        configs.size(), [&](std::size_t c) {
+            const std::unique_ptr<Hmd> proxy =
+                buildProxyFromTranscript(train, corpus, configs[c]);
+            return proxyAgreementOnTranscript(test, *proxy, corpus);
+        });
 }
 
 } // namespace rhmd::core

@@ -60,6 +60,70 @@ double proxyAgreement(Detector &victim, const Hmd &proxy,
                       const features::FeatureCorpus &corpus,
                       const std::vector<std::size_t> &attacker_test);
 
+/**
+ * Recorded victim decision sequences, one per queried program, in
+ * query order.
+ *
+ * Detector::decide is stateful for randomized victims (the Rhmd
+ * consumes switching randomness), so victim queries are inherently
+ * sequential: the i-th program's decisions depend on how many epochs
+ * were decided before it. VictimTranscript performs that sequential
+ * pass exactly once and freezes the result, after which any number
+ * of attacker hypotheses can be trained and scored against the same
+ * transcript concurrently — which is also the realistic attack: one
+ * data-collection session, many candidate models.
+ */
+class VictimTranscript
+{
+  public:
+    /** Query @p victim on each program of @p program_idx, in order. */
+    static VictimTranscript record(
+        Detector &victim, const features::FeatureCorpus &corpus,
+        const std::vector<std::size_t> &program_idx);
+
+    const std::vector<std::size_t> &programs() const
+    {
+        return programIdx_;
+    }
+
+    /** Decision sequence of the i-th *queried* program. */
+    const std::vector<int> &decisions(std::size_t i) const;
+
+  private:
+    std::vector<std::size_t> programIdx_;
+    std::vector<std::vector<int>> decisions_;
+};
+
+/**
+ * Train a proxy from a pre-recorded transcript (no further victim
+ * queries). buildProxy(victim, ...) is equivalent to recording the
+ * attacker_train transcript and calling this.
+ */
+std::unique_ptr<Hmd> buildProxyFromTranscript(
+    const VictimTranscript &transcript,
+    const features::FeatureCorpus &corpus, const ProxyConfig &config);
+
+/**
+ * Agreement of @p proxy against a pre-recorded test transcript:
+ * decision-wise comparison at the victim's cadence, proxy windows
+ * scored concurrently with counts folded in program order.
+ */
+double proxyAgreementOnTranscript(
+    const VictimTranscript &transcript, const Hmd &proxy,
+    const features::FeatureCorpus &corpus);
+
+/**
+ * A Fig. 3/14/15-style sweep: record the train and test transcripts
+ * once (sequentially, preserving the victim's randomness stream),
+ * then train and score one proxy per candidate configuration in
+ * parallel. Returns per-config agreement, in config order.
+ */
+std::vector<double> sweepProxyConfigs(
+    Detector &victim, const features::FeatureCorpus &corpus,
+    const std::vector<std::size_t> &attacker_train,
+    const std::vector<std::size_t> &attacker_test,
+    const std::vector<ProxyConfig> &configs);
+
 } // namespace rhmd::core
 
 #endif // RHMD_CORE_REVERSE_ENGINEER_HH

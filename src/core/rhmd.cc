@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "support/logging.hh"
+#include "support/parallel.hh"
 
 namespace rhmd::core
 {
@@ -206,19 +207,20 @@ buildRhmd(const std::string &algorithm,
           std::size_t opcode_top_k, std::uint64_t seed)
 {
     fatal_if(specs.empty(), "buildRhmd needs at least one spec");
-    std::vector<std::unique_ptr<Hmd>> pool;
-    pool.reserve(specs.size());
-    std::uint64_t det_seed = seed;
-    for (const features::FeatureSpec &spec : specs) {
-        HmdConfig config;
-        config.algorithm = algorithm;
-        config.specs = {spec};
-        config.opcodeTopK = opcode_top_k;
-        config.seed = ++det_seed;
-        auto det = std::make_unique<Hmd>(config);
-        det->trainOnPrograms(corpus, train_idx);
-        pool.push_back(std::move(det));
-    }
+    // Base detectors already use index-derived seeds (seed + i + 1),
+    // so they train independently and in parallel.
+    std::vector<std::unique_ptr<Hmd>> pool =
+        support::parallelMap<std::unique_ptr<Hmd>>(
+            specs.size(), [&](std::size_t i) {
+                HmdConfig config;
+                config.algorithm = algorithm;
+                config.specs = {specs[i]};
+                config.opcodeTopK = opcode_top_k;
+                config.seed = seed + i + 1;
+                auto det = std::make_unique<Hmd>(config);
+                det->trainOnPrograms(corpus, train_idx);
+                return det;
+            });
     return std::make_unique<Rhmd>(std::move(pool),
                                   std::vector<double>{}, seed ^ 0xabcdef);
 }

@@ -9,6 +9,7 @@
 
 #include "features/extractor.hh"
 #include "support/logging.hh"
+#include "support/parallel.hh"
 #include "support/rng.hh"
 #include "trace/execution.hh"
 
@@ -61,9 +62,13 @@ extractCorpus(const std::vector<trace::Program> &programs,
 {
     FeatureCorpus corpus;
     corpus.periods = config.periods;
-    corpus.programs.reserve(programs.size());
-    for (const trace::Program &program : programs)
-        corpus.programs.push_back(extractProgram(program, config));
+    // Each program executes with its own (program.seed ^ execSalt)
+    // stream, so extraction is index-independent and parallelizes
+    // with results collected in program order.
+    corpus.programs = support::parallelMap<ProgramFeatures>(
+        programs.size(), [&](std::size_t i) {
+            return extractProgram(programs[i], config);
+        });
     return corpus;
 }
 

@@ -6,8 +6,10 @@
 #include "ml/random_forest.hh"
 
 #include <cmath>
+#include <utility>
 
 #include "support/logging.hh"
+#include "support/parallel.hh"
 
 namespace rhmd::ml
 {
@@ -40,25 +42,44 @@ RandomForest::train(const Dataset &data, Rng &rng)
         2, static_cast<std::size_t>(
                config_.sampleFrac * static_cast<double>(data.size())));
 
-    for (std::size_t t = 0; t < config_.trees; ++t) {
-        // Feature subset for this tree.
-        const std::vector<std::size_t> perm = rng.permutation(d);
-        std::vector<std::size_t> sel(perm.begin(),
-                                     perm.begin() + features_per_tree);
-        // Bootstrap sample projected onto the subset.
-        Dataset sample;
-        for (std::size_t k = 0; k < samples_per_tree; ++k) {
-            const std::size_t i = rng.below(data.size());
-            std::vector<double> row;
-            row.reserve(sel.size());
-            for (std::size_t f : sel)
-                row.push_back(data.x[i][f]);
-            sample.add(std::move(row), data.y[i]);
-        }
-        DecisionTree tree(config_.tree);
-        tree.train(sample, rng);
-        trees_.push_back(std::move(tree));
-        featureSel_.push_back(std::move(sel));
+    // One draw from the caller's generator roots a SplitRng; each
+    // tree then trains from its own (root, tree index) stream, so
+    // trees are independent of each other and of the thread that
+    // builds them — the forest is identical at any thread count.
+    const SplitRng split(rng.next());
+
+    struct TreeResult
+    {
+        DecisionTree tree;
+        std::vector<std::size_t> sel;
+    };
+    std::vector<TreeResult> grown =
+        support::parallelMap<TreeResult>(
+            config_.trees, [&](std::size_t t) {
+                Rng tree_rng = split.at(t);
+                // Feature subset for this tree.
+                const std::vector<std::size_t> perm =
+                    tree_rng.permutation(d);
+                TreeResult result;
+                result.sel.assign(perm.begin(),
+                                  perm.begin() + features_per_tree);
+                // Bootstrap sample projected onto the subset.
+                Dataset sample;
+                for (std::size_t k = 0; k < samples_per_tree; ++k) {
+                    const std::size_t i = tree_rng.below(data.size());
+                    std::vector<double> row;
+                    row.reserve(result.sel.size());
+                    for (std::size_t f : result.sel)
+                        row.push_back(data.x[i][f]);
+                    sample.add(std::move(row), data.y[i]);
+                }
+                result.tree = DecisionTree(config_.tree);
+                result.tree.train(sample, tree_rng);
+                return result;
+            });
+    for (TreeResult &result : grown) {
+        trees_.push_back(std::move(result.tree));
+        featureSel_.push_back(std::move(result.sel));
     }
 }
 

@@ -197,4 +197,17 @@ Rng::fork()
     return Rng(next() ^ 0xd1b54a32d192ed03ULL);
 }
 
+std::uint64_t
+SplitRng::seedAt(std::uint64_t index) const
+{
+    // Two full splitmix64 rounds over (root, index). One round is
+    // already a good mixer; the second decorrelates the low bits of
+    // adjacent indices before the seed is expanded again by the Rng
+    // constructor.
+    std::uint64_t x = root_ ^ (index * 0xd1b54a32d192ed03ULL +
+                               0x8cb92ba72f3d8dd7ULL);
+    x = splitmix64(x);
+    return splitmix64(x);
+}
+
 } // namespace rhmd

@@ -90,6 +90,36 @@ class Rng
     bool hasCachedGauss_;
 };
 
+/**
+ * Stateless per-task stream derivation for parallel loops.
+ *
+ * fork() advances the parent generator, so the stream a task receives
+ * depends on how many forks happened before it — i.e. on iteration
+ * order, which a thread pool must be free to ignore. SplitRng instead
+ * derives task i's seed purely from (root seed, i) with two rounds of
+ * splitmix64-style mixing, so stream i is the same no matter which
+ * thread materializes it or when; an N-thread loop is bit-identical
+ * to the 1-thread loop. Streams for distinct indices are independent
+ * to the quality of the mixer (validated by the chi-square test in
+ * tests/test_parallel.cc).
+ */
+class SplitRng
+{
+  public:
+    explicit SplitRng(std::uint64_t root) : root_(root) {}
+
+    /** The derived 64-bit seed of stream @p index. */
+    std::uint64_t seedAt(std::uint64_t index) const;
+
+    /** A fresh generator positioned at the start of stream @p index. */
+    Rng at(std::uint64_t index) const { return Rng(seedAt(index)); }
+
+    std::uint64_t root() const { return root_; }
+
+  private:
+    std::uint64_t root_;
+};
+
 } // namespace rhmd
 
 #endif // RHMD_SUPPORT_RNG_HH

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_*.json files emitted by the bench harness.
+
+Two modes:
+
+  compare SERIAL_DIR PARALLEL_DIR
+      Assert that every bench present in SERIAL_DIR is present in
+      PARALLEL_DIR and that their "tables" payloads are *identical* —
+      the determinism contract (DESIGN.md section 9): an N-thread run
+      must produce bit-identical metric values to a 1-thread run.
+      Also prints the measured speedup (serial wall / parallel wall)
+      per bench.
+
+  regress DIR BASELINE_JSON [--tolerance FRAC]
+      Fail if any bench's wall_seconds exceeds its checked-in serial
+      baseline by more than FRAC (default 0.25, i.e. +25%). Benches
+      without a baseline entry are reported but do not fail the gate.
+
+Exit code 0 on success, 1 on any violation. Stdlib only.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_dir(path):
+    out = {}
+    for name in sorted(glob.glob(os.path.join(path, "BENCH_*.json"))):
+        with open(name) as f:
+            doc = json.load(f)
+        out[doc["bench"]] = doc
+    if not out:
+        sys.exit(f"bench_gate: no BENCH_*.json files in {path}")
+    return out
+
+
+def cmd_compare(args):
+    serial = load_dir(args.serial_dir)
+    parallel = load_dir(args.parallel_dir)
+    failed = False
+    for bench, sdoc in serial.items():
+        pdoc = parallel.get(bench)
+        if pdoc is None:
+            print(f"FAIL {bench}: missing from {args.parallel_dir}")
+            failed = True
+            continue
+        if sdoc["tables"] != pdoc["tables"]:
+            print(f"FAIL {bench}: tables differ between "
+                  f"{sdoc['threads']}-thread and "
+                  f"{pdoc['threads']}-thread runs")
+            print("  serial:   ", json.dumps(sdoc["tables"]))
+            print("  parallel: ", json.dumps(pdoc["tables"]))
+            failed = True
+            continue
+        swall = sdoc["wall_seconds"]
+        pwall = pdoc["wall_seconds"]
+        speedup = swall / pwall if pwall > 0 else float("inf")
+        print(f"OK   {bench}: tables identical at {sdoc['threads']} vs "
+              f"{pdoc['threads']} threads; wall {swall:.2f}s -> "
+              f"{pwall:.2f}s (speedup {speedup:.2f}x)")
+    return 1 if failed else 0
+
+
+def cmd_regress(args):
+    docs = load_dir(args.dir)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    failed = False
+    for bench, doc in docs.items():
+        base = baseline.get(bench)
+        if not isinstance(base, (int, float)):
+            print(f"SKIP {bench}: no baseline entry")
+            continue
+        wall = doc["wall_seconds"]
+        limit = base * (1.0 + args.tolerance)
+        if wall > limit:
+            print(f"FAIL {bench}: wall {wall:.2f}s exceeds baseline "
+                  f"{base:.2f}s + {args.tolerance:.0%} ({limit:.2f}s)")
+            failed = True
+        else:
+            print(f"OK   {bench}: wall {wall:.2f}s within baseline "
+                  f"{base:.2f}s + {args.tolerance:.0%}")
+    return 1 if failed else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="mode", required=True)
+    compare = sub.add_parser("compare")
+    compare.add_argument("serial_dir")
+    compare.add_argument("parallel_dir")
+    compare.set_defaults(func=cmd_compare)
+    regress = sub.add_parser("regress")
+    regress.add_argument("dir")
+    regress.add_argument("baseline")
+    regress.add_argument("--tolerance", type=float, default=0.25)
+    regress.set_defaults(func=cmd_regress)
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,7 @@
 #include "analysis/verifier.hh"
 #include "core/evasion.hh"
 #include "core/experiment.hh"
+#include "support/parallel.hh"
 #include "trace/dcfg.hh"
 #include "trace/execution.hh"
 #include "trace/generator.hh"
@@ -47,6 +48,7 @@ struct Options
     bool strict = false;
     bool pedantic = false;
     std::size_t maxPrint = 25;
+    std::size_t threads = 0;  // 0 = RHMD_THREADS env, then hardware
 };
 
 void
@@ -67,7 +69,11 @@ usage(const char *argv0)
         "  --json          emit findings as JSON lines\n"
         "  --strict        warnings also fail the run\n"
         "  --pedantic      enable noisy lints (unreachable blocks)\n"
-        "  --max-print N   findings printed in text mode (default 25)\n",
+        "  --max-print N   findings printed in text mode (default 25)\n"
+        "  --threads N     worker threads for generation, rewriting "
+        "and\n"
+        "                  verification (default: RHMD_THREADS env, "
+        "then hardware)\n",
         argv0);
 }
 
@@ -95,6 +101,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.dcfgInsts = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg == "--max-print" && need_value(i)) {
             opt.maxPrint = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--threads" && need_value(i)) {
+            opt.threads = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg == "--evade" && need_value(i)) {
             opt.evade = argv[++i];
             if (opt.evade != "none" && opt.evade != "random" &&
@@ -147,6 +155,7 @@ main(int argc, char **argv)
         usage(argv[0]);
         return 2;
     }
+    support::setGlobalThreads(opt.threads);
 
     // Model-guided evasion needs the full experiment pipeline (victim
     // training); the plain corpus walk only needs the generator.
@@ -191,22 +200,43 @@ main(int argc, char **argv)
     std::size_t failed_programs = 0;
     std::size_t printed = 0;
 
-    for (const trace::Program &original : programs) {
-        trace::Program modified;
-        const trace::Program *subject = &original;
-        if (opt.evade != "none" && original.malware) {
-            modified = core::evadeRewrite(original, plan, victim.get(),
-                                          &audit);
-            subject = &modified;
-        }
+    // Rewrite + verify every program on the pool; reports come back
+    // in program order, so printed findings and the audit counters
+    // are identical at any thread count.
+    struct ProgramResult
+    {
+        std::string name;
+        analysis::Report report;
+        core::EvasionAudit audit;
+    };
+    std::vector<ProgramResult> results =
+        support::parallelMap<ProgramResult>(
+            programs.size(), [&](std::size_t p) {
+                const trace::Program &original = programs[p];
+                ProgramResult result;
+                trace::Program modified;
+                const trace::Program *subject = &original;
+                if (opt.evade != "none" && original.malware) {
+                    modified = core::evadeRewrite(
+                        original, plan, victim.get(), &result.audit);
+                    subject = &modified;
+                }
+                result.name = subject->name;
+                result.report = verifier.run(*subject);
+                if (opt.dcfgInsts > 0) {
+                    trace::DcfgBuilder dcfg;
+                    trace::Executor(*subject, opt.seed ^ subject->seed)
+                        .run(opt.dcfgInsts, dcfg);
+                    analysis::checkDcfg(dcfg, result.report);
+                }
+                return result;
+            });
 
-        analysis::Report report = verifier.run(*subject);
-        if (opt.dcfgInsts > 0) {
-            trace::DcfgBuilder dcfg;
-            trace::Executor(*subject, opt.seed ^ subject->seed)
-                .run(opt.dcfgInsts, dcfg);
-            analysis::checkDcfg(dcfg, report);
-        }
+    for (const ProgramResult &result : results) {
+        const analysis::Report &report = result.report;
+        audit.admittedSites += result.audit.admittedSites;
+        audit.rejectedSites += result.audit.rejectedSites;
+        audit.verifiedPrograms += result.audit.verifiedPrograms;
 
         errors += report.errorCount();
         warnings += report.warningCount();
@@ -218,14 +248,14 @@ main(int argc, char **argv)
 
         if (opt.json) {
             if (!report.findings().empty())
-                std::fputs(report.toJsonLines(subject->name).c_str(),
+                std::fputs(report.toJsonLines(result.name).c_str(),
                            stdout);
         } else {
             for (const analysis::Finding &finding : report.findings()) {
                 if (printed >= opt.maxPrint) {
                     break;
                 }
-                printFinding(subject->name, finding);
+                printFinding(result.name, finding);
                 ++printed;
             }
         }
