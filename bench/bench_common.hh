@@ -16,11 +16,17 @@
  *   --smoke       CI-sized corpus (also RHMD_SMOKE=1)
  *
  * finish() emits a machine-readable BENCH_<name>.json (wall time,
- * thread count, speedup vs the recorded serial baseline, and every
- * table the run printed) into $RHMD_BENCH_JSON_DIR when that is set.
- * The tables are byte-identical across thread counts — the CI
- * bench-regression job diffs them between --threads 1 and
- * --threads $(nproc) runs.
+ * thread count, speedup vs the recorded serial baseline, the run
+ * manifest, and every table the run printed) into
+ * $RHMD_BENCH_JSON_DIR when that is set. The tables are
+ * byte-identical across thread counts — the CI bench-regression job
+ * diffs them between --threads 1 and --threads $(nproc) runs.
+ *
+ * When $RHMD_METRICS_DIR names a directory, finish() also writes
+ * METRICS_<name>.json and METRICS_<name>.prom snapshots of the
+ * process-wide metrics registry (see DESIGN.md §10); the nightly CI
+ * job compares the Deterministic-domain metrics across thread
+ * counts.
  */
 
 #ifndef RHMD_BENCH_BENCH_COMMON_HH
@@ -41,8 +47,10 @@
 #include "core/rhmd.hh"
 #include "ml/metrics.hh"
 #include "support/csv.hh"
+#include "support/metrics.hh"
 #include "support/parallel.hh"
 #include "support/table.hh"
+#include "support/tracing.hh"
 
 namespace rhmd::bench
 {
@@ -60,6 +68,7 @@ struct Session
     std::string name;          ///< binary name minus "bench_" prefix
     std::size_t threads = 1;
     bool smoke = false;
+    std::uint64_t seed = 0;    ///< stamped by standardConfig()
     std::chrono::steady_clock::time_point start;
     std::vector<TableRecord> tables;
 };
@@ -118,34 +127,9 @@ init(int argc, char **argv)
 namespace detail
 {
 
-inline std::string
-jsonEscape(const std::string &text)
-{
-    std::string out;
-    out.reserve(text.size() + 2);
-    for (char c : text) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
+// JSON string escaping lives in support/metrics (shared with the
+// registry's own exposition); keep the old name for bench callers.
+using support::jsonEscape;
 
 /**
  * Look up this bench's serial wall-time baseline in the checked-in
@@ -177,9 +161,24 @@ serialBaselineSeconds(const std::string &name)
 
 } // namespace detail
 
+/** The manifest stamped into this bench's outputs. */
+inline support::RunManifest
+manifest()
+{
+    const Session &s = session();
+    support::RunManifest m;
+    m.tool = "bench_" + s.name;
+    m.seed = s.seed;
+    m.threads = s.threads;
+    m.smoke = s.smoke;
+    return m;
+}
+
 /**
  * Stop the clock and, when $RHMD_BENCH_JSON_DIR names a directory,
- * write BENCH_<name>.json there. Returns the process exit code.
+ * write BENCH_<name>.json there. When $RHMD_METRICS_DIR names a
+ * directory, also snapshot the metrics registry there. Returns the
+ * process exit code.
  */
 inline int
 finish()
@@ -192,6 +191,13 @@ finish()
     std::printf("\n[bench %s] wall %.3fs, %zu thread%s%s\n",
                 s.name.c_str(), wall, s.threads,
                 s.threads == 1 ? "" : "s", s.smoke ? ", smoke" : "");
+
+    if (const char *metrics_dir = std::getenv("RHMD_METRICS_DIR")) {
+        if (!support::writeObservabilitySnapshot(metrics_dir, s.name,
+                                                 manifest()))
+            return 1;
+        std::printf("[metrics snapshot written to %s]\n", metrics_dir);
+    }
 
     const char *dir = std::getenv("RHMD_BENCH_JSON_DIR");
     if (dir == nullptr)
@@ -216,6 +222,7 @@ finish()
         json += "  \"baseline_serial_seconds\": null,\n";
         json += "  \"speedup\": null,\n";
     }
+    json += "  \"manifest\": " + manifest().toJson() + ",\n";
     json += "  \"tables\": [\n";
     for (std::size_t t = 0; t < s.tables.size(); ++t) {
         const TableRecord &table = s.tables[t];
@@ -259,6 +266,7 @@ standardConfig()
 {
     core::ExperimentConfig config;
     config.seed = 20171014;  // MICRO-50 opening day
+    session().seed = config.seed;
     config.benignCount = 180;
     config.malwareCount = 360;
     config.periods = {5000, 10000};
@@ -339,6 +347,51 @@ emitTable(const Table &table)
                              std::to_string(counter++) + ".csv";
     if (csv.write(path))
         std::printf("[csv written to %s]\n", path.c_str());
+}
+
+/**
+ * Print and record the attacker's query budget so far: the reveng.*
+ * counters (paper Sec. 4 — every program submitted to the victim is
+ * one black-box query, every decision epoch one harvested label).
+ * Deterministic-domain values, so the table is byte-identical across
+ * thread counts and the bench-regression diff covers it.
+ */
+inline void
+emitQueryBudget()
+{
+    std::printf("\nattacker query budget (cumulative this run)\n");
+    Table table({"metric", "count"});
+    for (const char *name :
+         {"reveng.victim_programs", "reveng.victim_decisions",
+          "reveng.transcripts", "reveng.proxies",
+          "reveng.sweep_configs"}) {
+        table.addRow({name, std::to_string(
+                                support::metrics().counterValue(name))});
+    }
+    emitTable(table);
+}
+
+/**
+ * Print and record the switching a randomized pool actually realized
+ * next to what its policy configured (paper Sec. 7 — the defense is
+ * the switching, so benches report it measured, not assumed). The
+ * counts come from the pool's own seeded stream, so the table is
+ * byte-identical across thread counts.
+ */
+inline void
+emitRealizedSwitching(const core::Rhmd &pool)
+{
+    std::printf("\nrealized switching vs configured policy\n");
+    const std::vector<double> realized = pool.realizedPolicy();
+    const std::vector<std::size_t> &counts = pool.selectionCounts();
+    Table table({"detector", "policy", "epochs", "realized"});
+    for (std::size_t i = 0; i < pool.poolSize(); ++i) {
+        table.addRow({pool.detectors()[i]->describe(),
+                      Table::percent(pool.policy()[i]),
+                      std::to_string(counts[i]),
+                      Table::percent(realized[i])});
+    }
+    emitTable(table);
 }
 
 } // namespace rhmd::bench

@@ -85,6 +85,7 @@ main(int argc, char **argv)
         feats.addRow(row);
     }
     emitTable(feats);
+    emitQueryBudget();
 
     std::printf("\nShape to match the paper: both sweeps peak at the "
                 "victim's true configuration\n(period 10k, feature "

@@ -43,6 +43,7 @@ main(int argc, char **argv)
         }
         emitTable(table);
     }
+    emitQueryBudget();
 
     std::printf("\nShape to match the paper: NN attackers "
                 "reverse-engineer both victim types with\nhigh "

@@ -80,6 +80,7 @@ main(int argc, char **argv)
         attackPool(exp, *pool,
                    {features::FeatureKind::Memory,
                     features::FeatureKind::Instructions});
+        emitRealizedSwitching(*pool);
     }
     {
         std::printf("\n(b) pool: {instructions, memory, architectural} "
@@ -94,7 +95,9 @@ main(int argc, char **argv)
                    {features::FeatureKind::Memory,
                     features::FeatureKind::Instructions,
                     features::FeatureKind::Architectural});
+        emitRealizedSwitching(*pool);
     }
+    emitQueryBudget();
 
     std::printf("\nShape to match the paper: agreement falls well "
                 "below the deterministic case\n(~99%%, see "

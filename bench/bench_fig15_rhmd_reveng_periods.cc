@@ -105,6 +105,7 @@ main(int argc, char **argv)
                     features::FeatureKind::Instructions,
                     features::FeatureKind::Architectural});
     }
+    emitQueryBudget();
 
     std::printf("\nShape to match the paper: adding period diversity "
                 "on top of feature diversity\nmakes reverse-"

@@ -90,6 +90,8 @@ main(int argc, char **argv)
             cells[c][p + 1] = Table::percent(
                 core::Experiment::detectionRate(*pool, evasive));
         }
+        std::printf("pool '%s':", pools[p].label);
+        emitRealizedSwitching(*pool);
     }
     for (auto &row : cells)
         table.addRow(row);

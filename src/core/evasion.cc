@@ -11,6 +11,7 @@
 #include "analysis/preservation.hh"
 #include "analysis/verifier.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "uarch/perf_counters.hh"
 
 namespace rhmd::core
@@ -80,6 +81,23 @@ gatedRewrite(const trace::Program &malware, EvasionAudit *audit,
         audit->rejectedSites += gate.rejected();
         audit->verifiedPrograms += 1;
     }
+
+    // Process-wide mirror of the per-call EvasionAudit: callers that
+    // pass audit == nullptr (most benches) still contribute here.
+    // Gate decisions depend only on program structure and the seeded
+    // rewrite stream, so these are Deterministic.
+    static support::Counter &admitted = support::metrics().counter(
+        "evasion.sites_admitted",
+        "injection sites admitted by the preservation gate");
+    static support::Counter &rejected = support::metrics().counter(
+        "evasion.sites_rejected",
+        "injection sites rejected by the preservation gate");
+    static support::Counter &verified = support::metrics().counter(
+        "evasion.programs_verified",
+        "rewritten programs run through the verifier");
+    admitted.add(gate.admitted());
+    rejected.add(gate.rejected());
+    verified.add(1);
     return out;
 }
 

@@ -7,6 +7,7 @@
 
 #include "support/logging.hh"
 #include "support/parallel.hh"
+#include "support/tracing.hh"
 
 namespace rhmd::core
 {
@@ -14,6 +15,7 @@ namespace rhmd::core
 Experiment
 Experiment::build(const ExperimentConfig &config)
 {
+    const support::ScopedSpan span("experiment");
     Experiment exp;
     exp.config_ = config;
 
@@ -24,15 +26,21 @@ Experiment::build(const ExperimentConfig &config)
     gen.commonBlend = config.commonBlend;
     gen.hardBlend = config.hardBlend;
     gen.hardFrac = config.hardFrac;
-    const trace::ProgramGenerator generator(gen);
-    exp.programs_ = generator.generateCorpus();
+    {
+        const support::ScopedSpan generate_span("generate");
+        const trace::ProgramGenerator generator(gen);
+        exp.programs_ = generator.generateCorpus();
+    }
 
     exp.extract_.periods = config.periods;
     exp.extract_.traceInsts = config.traceInsts;
     exp.corpus_ = features::extractCorpus(exp.programs_, exp.extract_);
 
-    exp.split_ = features::stratifiedSplit(exp.corpus_,
-                                           config.seed ^ 0x5117ULL);
+    {
+        const support::ScopedSpan split_span("split");
+        exp.split_ = features::stratifiedSplit(exp.corpus_,
+                                               config.seed ^ 0x5117ULL);
+    }
     return exp;
 }
 

@@ -9,6 +9,7 @@
 
 #include "ml/metrics.hh"
 #include "support/logging.hh"
+#include "support/tracing.hh"
 
 namespace rhmd::core
 {
@@ -64,6 +65,7 @@ windowAccuracy(const Hmd &detector,
 std::vector<RetrainPoint>
 retrainSweep(const Experiment &exp, const RetrainConfig &config)
 {
+    const support::ScopedSpan span("retrain_sweep");
     const auto &split = exp.split();
     const std::uint32_t period = config.period;
 
@@ -139,6 +141,7 @@ retrainSweep(const Experiment &exp, const RetrainConfig &config)
 std::vector<GenerationPoint>
 evadeRetrainGame(const Experiment &exp, const GameConfig &config)
 {
+    const support::ScopedSpan span("game");
     const auto &split = exp.split();
     const std::uint32_t period = config.period;
 
@@ -157,6 +160,7 @@ evadeRetrainGame(const Experiment &exp, const GameConfig &config)
 
     std::vector<GenerationPoint> points;
     for (std::size_t gen = 1; gen <= config.generations; ++gen) {
+        const support::ScopedSpan gen_span("generation");
         // Train this generation on original data plus every earlier
         // generation's evasive malware.
         std::vector<const features::RawWindow *> windows;
@@ -175,17 +179,26 @@ evadeRetrainGame(const Experiment &exp, const GameConfig &config)
         Hmd detector(detectorConfig(config.algorithm, config.kind,
                                     period, exp.config().opcodeTopK,
                                     config.seed + gen));
-        detector.train(windows, labels);
+        {
+            const support::ScopedSpan train_span("train");
+            detector.train(windows, labels);
+        }
 
         GenerationPoint point;
         point.generation = static_cast<int>(gen);
-        point.trainAccuracy = windowAccuracy(detector, windows, labels);
-        point.specificity =
-            1.0 - exp.detectionRateOn(detector, test_ben);
-        point.sensUnmodified = exp.detectionRateOn(detector, test_mal);
-        point.sensPreviousGen = evasive_test.empty()
-            ? -1.0
-            : Experiment::detectionRate(detector, evasive_test.back());
+        {
+            const support::ScopedSpan eval_span("evaluate");
+            point.trainAccuracy =
+                windowAccuracy(detector, windows, labels);
+            point.specificity =
+                1.0 - exp.detectionRateOn(detector, test_ben);
+            point.sensUnmodified =
+                exp.detectionRateOn(detector, test_mal);
+            point.sensPreviousGen = evasive_test.empty()
+                ? -1.0
+                : Experiment::detectionRate(detector,
+                                            evasive_test.back());
+        }
 
         // The attacker reverse-engineers this generation and crafts
         // new evasive malware against the proxy.
@@ -197,15 +210,22 @@ evadeRetrainGame(const Experiment &exp, const GameConfig &config)
         proxy_config.specs = {proxy_spec};
         proxy_config.opcodeTopK = exp.config().opcodeTopK;
         proxy_config.seed = config.seed ^ (gen * 0x51ULL);
-        const std::unique_ptr<Hmd> proxy = buildProxy(
-            detector, exp.corpus(), split.attackerTrain, proxy_config);
+        std::unique_ptr<Hmd> proxy;
+        {
+            const support::ScopedSpan reveng_span("reveng");
+            proxy = buildProxy(detector, exp.corpus(),
+                               split.attackerTrain, proxy_config);
+        }
 
         EvasionPlan plan = config.evasion;
         plan.seed = config.evasion.seed + gen;
-        evasive_train.push_back(
-            exp.extractEvasive(train_mal, plan, proxy.get()));
-        evasive_test.push_back(
-            exp.extractEvasive(test_mal, plan, proxy.get()));
+        {
+            const support::ScopedSpan evade_span("evade");
+            evasive_train.push_back(
+                exp.extractEvasive(train_mal, plan, proxy.get()));
+            evasive_test.push_back(
+                exp.extractEvasive(test_mal, plan, proxy.get()));
+        }
 
         point.sensCurrentGen =
             Experiment::detectionRate(detector, evasive_test.back());

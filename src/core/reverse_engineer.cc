@@ -9,10 +9,74 @@
 #include <utility>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/parallel.hh"
+#include "support/tracing.hh"
 
 namespace rhmd::core
 {
+
+namespace
+{
+
+// The attacker's query budget (paper Sec. 4): every program submitted
+// to the victim is one black-box query, every decision epoch one
+// label the attacker harvests. Counted at the single victim-facing
+// choke point (VictimTranscript::record), so the totals are the
+// attack cost no matter which sweep or bench drove the queries.
+
+support::Counter &
+victimProgramsCounter()
+{
+    static support::Counter &c = support::metrics().counter(
+        "reveng.victim_programs",
+        "programs submitted to the victim (one black-box query each)");
+    return c;
+}
+
+support::Counter &
+victimDecisionsCounter()
+{
+    static support::Counter &c = support::metrics().counter(
+        "reveng.victim_decisions",
+        "decision epochs harvested from the victim");
+    return c;
+}
+
+support::Counter &
+transcriptsCounter()
+{
+    static support::Counter &c = support::metrics().counter(
+        "reveng.transcripts", "victim transcripts recorded");
+    return c;
+}
+
+support::Counter &
+proxiesCounter()
+{
+    static support::Counter &c = support::metrics().counter(
+        "reveng.proxies", "proxy detectors trained from transcripts");
+    return c;
+}
+
+support::Counter &
+sweepsCounter()
+{
+    static support::Counter &c = support::metrics().counter(
+        "reveng.sweeps", "sweepProxyConfigs invocations");
+    return c;
+}
+
+support::Counter &
+sweepConfigsCounter()
+{
+    static support::Counter &c = support::metrics().counter(
+        "reveng.sweep_configs",
+        "attacker hypotheses trained across all sweeps");
+    return c;
+}
+
+} // namespace
 
 VictimTranscript
 VictimTranscript::record(Detector &victim,
@@ -23,15 +87,21 @@ VictimTranscript::record(Detector &victim,
     // randomness per epoch, so the order (and number) of queries is
     // part of the seeded stream. This is the only victim-facing pass;
     // everything downstream works from the frozen transcript.
+    const support::ScopedSpan span("victim_transcript");
     VictimTranscript transcript;
     transcript.programIdx_ = program_idx;
     transcript.decisions_.reserve(program_idx.size());
+    std::uint64_t decisions = 0;
     for (std::size_t idx : program_idx) {
         panic_if(idx >= corpus.programs.size(),
                  "transcript program index out of range");
         transcript.decisions_.push_back(
             victim.decide(corpus.programs[idx]));
+        decisions += transcript.decisions_.back().size();
     }
+    victimProgramsCounter().add(program_idx.size());
+    victimDecisionsCounter().add(decisions);
+    transcriptsCounter().add(1);
     return transcript;
 }
 
@@ -84,6 +154,7 @@ buildProxyFromTranscript(const VictimTranscript &transcript,
     hmd_config.seed = config.seed;
     auto proxy = std::make_unique<Hmd>(hmd_config);
     proxy->train(windows, labels);
+    proxiesCounter().add(1);
     return proxy;
 }
 
@@ -161,6 +232,9 @@ sweepProxyConfigs(Detector &victim,
                   const std::vector<std::size_t> &attacker_test,
                   const std::vector<ProxyConfig> &configs)
 {
+    const support::ScopedSpan span("proxy_sweep");
+    sweepsCounter().add(1);
+    sweepConfigsCounter().add(configs.size());
     const VictimTranscript train =
         VictimTranscript::record(victim, corpus, attacker_train);
     const VictimTranscript test =

@@ -9,10 +9,40 @@
 #include <cmath>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/parallel.hh"
 
 namespace rhmd::core
 {
+
+namespace
+{
+
+// Switching metrics are Deterministic: Rhmd::decide consumes the
+// seeded switching stream strictly in epoch order (it is never run
+// concurrently for one pool), so the realized selection histogram is
+// part of the reproducible output and the determinism gate compares
+// it across thread counts.
+
+support::Counter &
+epochsCounter()
+{
+    static support::Counter &c = support::metrics().counter(
+        "rhmd.epochs", "decision epochs classified by RHMD pools");
+    return c;
+}
+
+support::Histogram &
+selectionHistogram()
+{
+    static support::Histogram &h = support::metrics().histogram(
+        "rhmd.selection",
+        "detector index drawn per epoch (realized switching)",
+        {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0});
+    return h;
+}
+
+} // namespace
 
 support::Status
 validatePolicy(std::vector<double> &policy, std::size_t n_detectors)
@@ -115,6 +145,8 @@ Rhmd::decide(const features::ProgramFeatures &prog)
     for (std::size_t e = 0; e < n_epochs; ++e) {
         const std::size_t pick = rng_.weightedIndex(policy_);
         ++selectionCounts_[pick];
+        epochsCounter().add(1);
+        selectionHistogram().observe(static_cast<double>(pick));
         Hmd &det = *detectors_[pick];
         const std::uint32_t period = det.decisionPeriod();
         // The chosen detector classifies the first sub-window of the
@@ -127,6 +159,21 @@ Rhmd::decide(const features::ProgramFeatures &prog)
         decisions.push_back(det.windowDecision(windows[index]));
     }
     return decisions;
+}
+
+std::vector<double>
+Rhmd::realizedPolicy() const
+{
+    std::size_t total = 0;
+    for (std::size_t n : selectionCounts_)
+        total += n;
+    std::vector<double> realized(selectionCounts_.size(), 0.0);
+    if (total == 0)
+        return realized;
+    for (std::size_t i = 0; i < selectionCounts_.size(); ++i)
+        realized[i] = static_cast<double>(selectionCounts_[i]) /
+                      static_cast<double>(total);
+    return realized;
 }
 
 void

@@ -84,6 +84,15 @@ class Rhmd : public Detector
         return selectionCounts_;
     }
 
+    /**
+     * The switching distribution this pool actually realized: the
+     * normalized selection counts (all zeros before any decision).
+     * Benches report it next to policy() so the paper's Sec. 7
+     * randomization can be audited, not assumed; the CI determinism
+     * gate compares the realized histograms across thread counts.
+     */
+    std::vector<double> realizedPolicy() const;
+
     /** Reseed the switching randomness (reproducible replays). */
     void reseed(std::uint64_t seed);
 

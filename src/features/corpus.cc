@@ -9,12 +9,35 @@
 
 #include "features/extractor.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/parallel.hh"
 #include "support/rng.hh"
+#include "support/tracing.hh"
 #include "trace/execution.hh"
 
 namespace rhmd::features
 {
+
+namespace
+{
+
+support::Counter &
+programsCounter()
+{
+    static support::Counter &c = support::metrics().counter(
+        "corpus.programs", "programs run through feature extraction");
+    return c;
+}
+
+support::Counter &
+windowsCounter()
+{
+    static support::Counter &c = support::metrics().counter(
+        "corpus.windows", "feature windows extracted, all periods");
+    return c;
+}
+
+} // namespace
 
 const std::vector<RawWindow> &
 ProgramFeatures::windows(std::uint32_t period) const
@@ -51,8 +74,13 @@ extractProgram(const trace::Program &program, const ExtractConfig &config)
     out.name = program.name;
     out.malware = program.malware;
     out.family = program.family;
-    for (std::uint32_t period : config.periods)
+    std::uint64_t n_windows = 0;
+    for (std::uint32_t period : config.periods) {
         out.byPeriod[period] = session.windows(period);
+        n_windows += out.byPeriod[period].size();
+    }
+    programsCounter().add(1);
+    windowsCounter().add(n_windows);
     return out;
 }
 
@@ -60,6 +88,7 @@ FeatureCorpus
 extractCorpus(const std::vector<trace::Program> &programs,
               const ExtractConfig &config)
 {
+    const support::ScopedSpan span("extract_corpus");
     FeatureCorpus corpus;
     corpus.periods = config.periods;
     // Each program executes with its own (program.seed ^ execSalt)

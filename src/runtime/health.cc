@@ -6,9 +6,41 @@
 #include "runtime/health.hh"
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace rhmd::runtime
 {
+
+namespace
+{
+
+/**
+ * Process-wide count of health transitions by kind. The monitor's
+ * own event log is per-instance and unbounded; these four counters
+ * are what a deployment watches. Driven by the runtime's seeded
+ * fault stream, so Deterministic.
+ */
+void
+countHealthEvent(HealthEvent::Kind kind)
+{
+    static support::Counter &failures = support::metrics().counter(
+        "health.failures", "detector failures recorded");
+    static support::Counter &quarantines = support::metrics().counter(
+        "health.quarantines", "detectors sent to quarantine");
+    static support::Counter &probations = support::metrics().counter(
+        "health.probations", "quarantine cool-downs elapsed");
+    static support::Counter &recoveries = support::metrics().counter(
+        "health.recoveries", "detectors recovered from probation");
+    switch (kind) {
+      case HealthEvent::Kind::Failure: failures.add(1); return;
+      case HealthEvent::Kind::Quarantine: quarantines.add(1); return;
+      case HealthEvent::Kind::Probation: probations.add(1); return;
+      case HealthEvent::Kind::Recovery: recoveries.add(1); return;
+    }
+    rhmd_panic("bad health event kind");
+}
+
+} // namespace
 
 std::string_view
 healthName(DetectorHealth health)
@@ -57,6 +89,7 @@ HealthMonitor::tick()
             state.consecutiveFailures = 0;
             events_.push_back({epoch_, i, HealthEvent::Kind::Probation,
                                "quarantine cool-down elapsed"});
+            countHealthEvent(HealthEvent::Kind::Probation);
         }
     }
 }
@@ -72,6 +105,7 @@ HealthMonitor::recordSuccess(std::size_t detector)
             events_.push_back({epoch_, detector,
                                HealthEvent::Kind::Recovery,
                                "probation passed"});
+            countHealthEvent(HealthEvent::Kind::Recovery);
         }
     }
 }
@@ -85,6 +119,7 @@ HealthMonitor::quarantine(std::size_t detector, const std::string &why)
     state.probationStreak = 0;
     events_.push_back({epoch_, detector, HealthEvent::Kind::Quarantine,
                        why});
+    countHealthEvent(HealthEvent::Kind::Quarantine);
 }
 
 void
@@ -97,6 +132,7 @@ HealthMonitor::recordFailure(std::size_t detector,
     state.probationStreak = 0;
     events_.push_back({epoch_, detector, HealthEvent::Kind::Failure,
                        why});
+    countHealthEvent(HealthEvent::Kind::Failure);
     if (state.health == DetectorHealth::Probation) {
         // One strike on probation: straight back to quarantine.
         quarantine(detector, "failed during probation: " + why);

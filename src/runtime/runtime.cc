@@ -9,6 +9,7 @@
 
 #include "analysis/verifier.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace rhmd::runtime
 {
@@ -20,6 +21,51 @@ bool
 validScore(double score)
 {
     return std::isfinite(score) && score >= 0.0 && score <= 1.0;
+}
+
+// One runtime counter per RuntimeReport field (plus admission): each
+// processProgram call folds its report into the process-wide totals,
+// so a deployment's fault pressure is visible in one snapshot without
+// threading reports through every caller. Fault injection draws from
+// the runtime's seeded rng, so these are Deterministic.
+
+support::Counter &
+runtimeCounter(const char *name, const char *help)
+{
+    return support::metrics().counter(name, help);
+}
+
+struct RuntimeCounters
+{
+    support::Counter &programs = runtimeCounter(
+        "runtime.programs", "programs processed by DetectionRuntime");
+    support::Counter &failedPrograms = runtimeCounter(
+        "runtime.failed_programs",
+        "programs where no epoch could be classified");
+    support::Counter &epochs = runtimeCounter(
+        "runtime.epochs", "decision epochs attempted");
+    support::Counter &classified = runtimeCounter(
+        "runtime.classified", "decision epochs classified");
+    support::Counter &dropped = runtimeCounter(
+        "runtime.dropped", "epochs lost to sensor-path window loss");
+    support::Counter &truncated = runtimeCounter(
+        "runtime.truncated", "windows delivered truncated");
+    support::Counter &sensorRetries = runtimeCounter(
+        "runtime.sensor_retries", "sensor reads retried with backoff");
+    support::Counter &detectorFailures = runtimeCounter(
+        "runtime.detector_failures",
+        "invalid detector scores failed over");
+    support::Counter &admitted = runtimeCounter(
+        "runtime.admitted", "programs passing admission verification");
+    support::Counter &rejected = runtimeCounter(
+        "runtime.rejected", "programs rejected at admission");
+};
+
+RuntimeCounters &
+runtimeCounters()
+{
+    static RuntimeCounters counters;
+    return counters;
 }
 
 } // namespace
@@ -38,6 +84,7 @@ DetectionRuntime::admitProgram(const trace::Program &prog)
     const analysis::Report report = analysis::verifyProgram(prog);
     if (!report.clean()) {
         ++rejectedPrograms_;
+        runtimeCounters().rejected.add(1);
         for (const analysis::Finding &finding : report.findings()) {
             if (finding.severity == analysis::Severity::Error)
                 return support::invalidArgumentError(
@@ -47,6 +94,7 @@ DetectionRuntime::admitProgram(const trace::Program &prog)
         }
     }
     ++admittedPrograms_;
+    runtimeCounters().admitted.add(1);
     return support::Status();
 }
 
@@ -99,6 +147,19 @@ DetectionRuntime::processProgram(const features::ProgramFeatures &prog)
     const std::uint32_t epoch_len = pool_.decisionPeriod();
     report.epochs = prog.windows(epoch_len).size();
 
+    // Fold this report into the process-wide totals on every exit
+    // path, so aborted programs still show up in the snapshot.
+    RuntimeCounters &counters = runtimeCounters();
+    counters.programs.add(1);
+    const auto fold = [&report, &counters] {
+        counters.epochs.add(report.epochs);
+        counters.classified.add(report.classified);
+        counters.dropped.add(report.dropped);
+        counters.truncated.add(report.truncated);
+        counters.sensorRetries.add(report.sensorRetries);
+        counters.detectorFailures.add(report.detectorFailures);
+    };
+
     for (std::size_t e = 0; e < report.epochs; ++e) {
         health_.tick();
 
@@ -118,6 +179,8 @@ DetectionRuntime::processProgram(const features::ProgramFeatures &prog)
             auto policy = health_.effectivePolicy(pool_.policy());
             if (!policy.isOk()) {
                 ++failedPrograms_;
+                counters.failedPrograms.add(1);
+                fold();
                 return policy.status();
             }
             const std::size_t pick = rng_.weightedIndex(*policy);
@@ -151,8 +214,10 @@ DetectionRuntime::processProgram(const features::ProgramFeatures &prog)
         }
     }
 
+    fold();
     if (report.decisions.empty()) {
         ++failedPrograms_;
+        counters.failedPrograms.add(1);
         return support::unavailableError(
             "no epoch of '", prog.name, "' could be classified (",
             report.dropped, " of ", report.epochs,

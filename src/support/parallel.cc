@@ -8,14 +8,67 @@
 #include <pthread.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <utility>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace rhmd::support
 {
+
+namespace
+{
+
+// Pool metrics are Timing-domain: task counts and queue depths depend
+// on the worker count and the scheduler (serial mode runs tasks
+// inline and submits none), so they are exposition-only and never
+// part of the determinism comparison.
+
+Counter &
+poolTaskCounter()
+{
+    static Counter &c = metrics().counter(
+        "pool.tasks", "claiming tasks executed by the thread pool",
+        MetricDomain::Timing);
+    return c;
+}
+
+Gauge &
+poolQueuePeakGauge()
+{
+    static Gauge &g = metrics().gauge(
+        "pool.queue_peak", "peak task-queue depth observed",
+        MetricDomain::Timing);
+    return g;
+}
+
+Histogram &
+poolTaskSecondsHistogram()
+{
+    static Histogram &h = metrics().histogram(
+        "pool.task_seconds", "per-task wall time",
+        {0.0001, 0.001, 0.01, 0.1, 1.0, 10.0}, MetricDomain::Timing);
+    return h;
+}
+
+/** Run @p task, stamping the pool's per-task metrics. */
+void
+runInstrumented(const std::function<void()> &task)
+{
+    const auto start = std::chrono::steady_clock::now();
+    task();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    poolTaskCounter().add(1);
+    poolTaskSecondsHistogram().observe(seconds);
+}
+
+} // namespace
 
 std::size_t
 resolveThreadCount(std::size_t requested)
@@ -67,7 +120,7 @@ ThreadPool::submit(std::function<void()> task)
 {
     panic_if(task == nullptr, "ThreadPool::submit of an empty task");
     if (serial()) {
-        task();
+        runInstrumented(task);
         return;
     }
     {
@@ -75,6 +128,8 @@ ThreadPool::submit(std::function<void()> task)
         spaceReady_.wait(
             lock, [this] { return queue_.size() < capacity_; });
         queue_.push_back(std::move(task));
+        poolQueuePeakGauge().updateMax(
+            static_cast<double>(queue_.size()));
     }
     taskReady_.notify_one();
 }
@@ -106,7 +161,7 @@ ThreadPool::workerLoop()
             ++active_;
         }
         spaceReady_.notify_one();
-        task();
+        runInstrumented(task);
         {
             const std::lock_guard<std::mutex> lock(mutex_);
             --active_;

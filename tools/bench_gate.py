@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""CI gate over BENCH_*.json files emitted by the bench harness.
+"""CI gate over BENCH_*.json and METRICS_*.json files emitted by the
+bench harness (bench/bench_common.hh).
 
-Two modes:
+Three modes:
 
   compare SERIAL_DIR PARALLEL_DIR
       Assert that every bench present in SERIAL_DIR is present in
@@ -11,12 +12,29 @@ Two modes:
       Also prints the measured speedup (serial wall / parallel wall)
       per bench.
 
-  regress DIR BASELINE_JSON [--tolerance FRAC]
+  regress DIR BASELINE_JSON [--tolerance FRAC] [--allow-missing]
       Fail if any bench's wall_seconds exceeds its checked-in serial
-      baseline by more than FRAC (default 0.25, i.e. +25%). Benches
-      without a baseline entry are reported but do not fail the gate.
+      baseline by more than FRAC (default 0.25, i.e. +25%). A bench
+      without a baseline entry FAILS the gate with instructions for
+      adding one, so new benches cannot silently dodge the gate; pass
+      --allow-missing to downgrade that to a SKIP (e.g. while a new
+      bench's baseline is still being calibrated).
 
-Exit code 0 on success, 1 on any violation. Stdlib only.
+  metrics SERIAL_DIR PARALLEL_DIR
+      Assert that every METRICS_*.json snapshot in SERIAL_DIR has a
+      counterpart in PARALLEL_DIR whose *Deterministic-domain* metrics
+      are identical (DESIGN.md section 10). Timing-domain metrics
+      (pool task counts, latencies, span trees) and the manifest's
+      thread count legitimately differ and are stripped before the
+      comparison.
+
+To add a baseline entry: run the bench once with --threads 1 under
+RHMD_SMOKE=1 and RHMD_BENCH_JSON_DIR set, read "wall_seconds" from the
+emitted BENCH_<name>.json, and add '"<name>": <seconds>' to
+bench/baseline.json (see the "comment" key there).
+
+Exit code 0 on success, 1 on any violation, 2 on malformed input.
+Stdlib only.
 """
 
 import argparse
@@ -26,14 +44,33 @@ import os
 import sys
 
 
-def load_dir(path):
+def load_json(path):
+    """Parse one JSON file, exiting with a clear message (no
+    traceback) when it is unreadable or malformed."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as err:
+        sys.exit(f"bench_gate: cannot read {path}: {err.strerror}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"bench_gate: malformed JSON in {path}: {err}")
+
+
+def load_dir(path, pattern="BENCH_*.json", key="bench"):
     out = {}
-    for name in sorted(glob.glob(os.path.join(path, "BENCH_*.json"))):
-        with open(name) as f:
-            doc = json.load(f)
-        out[doc["bench"]] = doc
+    for name in sorted(glob.glob(os.path.join(path, pattern))):
+        doc = load_json(name)
+        if key == "bench":
+            ident = doc.get("bench")
+        else:
+            # METRICS_<name>.json carries its identity in the file
+            # name; the manifest's "tool" may repeat across snapshots.
+            ident = os.path.basename(name)
+        if not isinstance(ident, str):
+            sys.exit(f"bench_gate: {name} has no \"{key}\" field")
+        out[ident] = doc
     if not out:
-        sys.exit(f"bench_gate: no BENCH_*.json files in {path}")
+        sys.exit(f"bench_gate: no {pattern} files in {path}")
     return out
 
 
@@ -66,13 +103,23 @@ def cmd_compare(args):
 
 def cmd_regress(args):
     docs = load_dir(args.dir)
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    baseline = load_json(args.baseline)
+    if not isinstance(baseline, dict):
+        sys.exit(f"bench_gate: {args.baseline} must hold one "
+                 "{\"<bench>\": seconds} object")
     failed = False
     for bench, doc in docs.items():
         base = baseline.get(bench)
-        if not isinstance(base, (int, float)):
-            print(f"SKIP {bench}: no baseline entry")
+        if not isinstance(base, (int, float)) or isinstance(base, bool):
+            if args.allow_missing:
+                print(f"SKIP {bench}: no baseline entry "
+                      f"(--allow-missing)")
+                continue
+            print(f"FAIL {bench}: no baseline entry in "
+                  f"{args.baseline}. Run the bench with --threads 1 "
+                  f"(smoke mode) and add '\"{bench}\": "
+                  f"<wall_seconds>' to it, or pass --allow-missing.")
+            failed = True
             continue
         wall = doc["wall_seconds"]
         limit = base * (1.0 + args.tolerance)
@@ -83,6 +130,56 @@ def cmd_regress(args):
         else:
             print(f"OK   {bench}: wall {wall:.2f}s within baseline "
                   f"{base:.2f}s + {args.tolerance:.0%}")
+    return 1 if failed else 0
+
+
+def deterministic_view(doc, path):
+    """The determinism-relevant subset of one METRICS_*.json snapshot:
+    Deterministic-domain metrics plus the manifest minus its thread
+    count (spans and Timing metrics are wall-clock shaped)."""
+    metrics = doc.get("metrics")
+    manifest = doc.get("manifest")
+    if not isinstance(metrics, list) or not isinstance(manifest, dict):
+        sys.exit(f"bench_gate: {path} is not a metrics snapshot "
+                 "(needs \"metrics\" and \"manifest\")")
+    view = {k: v for k, v in manifest.items() if k != "threads"}
+    return {
+        "manifest": view,
+        "metrics": [m for m in metrics
+                    if m.get("domain") == "deterministic"],
+    }
+
+
+def cmd_metrics(args):
+    serial = load_dir(args.serial_dir, "METRICS_*.json", key="file")
+    parallel = load_dir(args.parallel_dir, "METRICS_*.json", key="file")
+    failed = False
+    for name, sdoc in serial.items():
+        pdoc = parallel.get(name)
+        if pdoc is None:
+            print(f"FAIL {name}: missing from {args.parallel_dir}")
+            failed = True
+            continue
+        sview = deterministic_view(sdoc, name)
+        pview = deterministic_view(pdoc, name)
+        if sview != pview:
+            print(f"FAIL {name}: deterministic metrics differ between "
+                  "thread counts")
+            smet = {m["name"]: m for m in sview["metrics"]}
+            pmet = {m["name"]: m for m in pview["metrics"]}
+            for metric in sorted(set(smet) | set(pmet)):
+                if smet.get(metric) != pmet.get(metric):
+                    print(f"  {metric}:")
+                    print("    serial:   ", json.dumps(smet.get(metric)))
+                    print("    parallel: ", json.dumps(pmet.get(metric)))
+            if sview["manifest"] != pview["manifest"]:
+                print("  manifest:")
+                print("    serial:   ", json.dumps(sview["manifest"]))
+                print("    parallel: ", json.dumps(pview["manifest"]))
+            failed = True
+            continue
+        n = len(sview["metrics"])
+        print(f"OK   {name}: {n} deterministic metrics identical")
     return 1 if failed else 0
 
 
@@ -97,7 +194,12 @@ def main():
     regress.add_argument("dir")
     regress.add_argument("baseline")
     regress.add_argument("--tolerance", type=float, default=0.25)
+    regress.add_argument("--allow-missing", action="store_true")
     regress.set_defaults(func=cmd_regress)
+    metrics = sub.add_parser("metrics")
+    metrics.add_argument("serial_dir")
+    metrics.add_argument("parallel_dir")
+    metrics.set_defaults(func=cmd_metrics)
     args = parser.parse_args()
     sys.exit(args.func(args))
 

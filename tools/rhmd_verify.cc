@@ -25,7 +25,9 @@
 #include "analysis/verifier.hh"
 #include "core/evasion.hh"
 #include "core/experiment.hh"
+#include "support/metrics.hh"
 #include "support/parallel.hh"
+#include "support/tracing.hh"
 #include "trace/dcfg.hh"
 #include "trace/execution.hh"
 #include "trace/generator.hh"
@@ -49,6 +51,7 @@ struct Options
     bool pedantic = false;
     std::size_t maxPrint = 25;
     std::size_t threads = 0;  // 0 = RHMD_THREADS env, then hardware
+    std::string metricsDir;   // empty disables the snapshot
 };
 
 void
@@ -73,7 +76,10 @@ usage(const char *argv0)
         "  --threads N     worker threads for generation, rewriting "
         "and\n"
         "                  verification (default: RHMD_THREADS env, "
-        "then hardware)\n",
+        "then hardware)\n"
+        "  --metrics DIR   write METRICS_rhmd_verify.{json,prom} "
+        "snapshots\n"
+        "                  (with the run manifest) into DIR\n",
         argv0);
 }
 
@@ -103,6 +109,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.maxPrint = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg == "--threads" && need_value(i)) {
             opt.threads = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--metrics" && need_value(i)) {
+            opt.metricsDir = argv[++i];
         } else if (arg == "--evade" && need_value(i)) {
             opt.evade = argv[++i];
             if (opt.evade != "none" && opt.evade != "random" &&
@@ -277,6 +285,18 @@ main(int argc, char **argv)
         } else {
             std::printf("OK\n");
         }
+    }
+
+    if (!opt.metricsDir.empty()) {
+        support::RunManifest manifest;
+        manifest.tool = "rhmd_verify";
+        manifest.seed = opt.seed;
+        manifest.threads = support::globalThreads();
+        manifest.addConfig("evade", opt.evade);
+        manifest.addConfig("count", std::to_string(opt.count));
+        if (!support::writeObservabilitySnapshot(
+                opt.metricsDir, "rhmd_verify", manifest))
+            return 2;
     }
     return failed_programs > 0 ? 1 : 0;
 }
