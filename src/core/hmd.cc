@@ -137,6 +137,39 @@ Hmd::featureVector(const features::RawWindow &window) const
         features::combinedVector(config_.specs, window));
 }
 
+std::size_t
+Hmd::featureDim() const
+{
+    return features::combinedDim(config_.specs);
+}
+
+void
+Hmd::fillFeatureRow(const features::RawWindow &window, double *row) const
+{
+    features::fillCombined(config_.specs, window, row);
+    standardizer_.applyInPlace(row);
+}
+
+features::FeatureMatrix
+Hmd::featureMatrix(
+    const std::vector<const features::RawWindow *> &windows) const
+{
+    features::FeatureMatrix matrix(windows.size(), featureDim());
+    for (std::size_t r = 0; r < windows.size(); ++r) {
+        panic_if(windows[r] == nullptr, "null window in batch");
+        fillFeatureRow(*windows[r], matrix.row(r));
+    }
+    return matrix;
+}
+
+std::vector<double>
+Hmd::scoreWindows(
+    const std::vector<const features::RawWindow *> &windows) const
+{
+    panic_if(!trained(), "Hmd queried before training");
+    return clf_->scoreBatch(featureMatrix(windows));
+}
+
 double
 Hmd::windowScore(const features::RawWindow &window) const
 {

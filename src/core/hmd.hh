@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "features/corpus.hh"
+#include "features/matrix.hh"
 #include "features/spec.hh"
 #include "ml/classifier.hh"
 
@@ -109,6 +110,30 @@ class Hmd : public Detector
 
     /** Thresholded decision for one raw window. */
     int windowDecision(const features::RawWindow &window) const;
+
+    /**
+     * Standardized feature matrix of a batch of windows, one row per
+     * window, built without per-row allocation. Row values are
+     * bit-identical to featureVector().
+     */
+    features::FeatureMatrix featureMatrix(
+        const std::vector<const features::RawWindow *> &windows) const;
+
+    /**
+     * Classifier scores of a batch of windows in one pass
+     * (featureMatrix + Classifier::scoreBatch). Bit-identical to
+     * calling windowScore() per window; the batch path only removes
+     * per-window allocations and virtual-call overhead.
+     */
+    std::vector<double> scoreWindows(
+        const std::vector<const features::RawWindow *> &windows) const;
+
+    /** Fill @p row (featureDim() doubles) for one window, no alloc. */
+    void fillFeatureRow(const features::RawWindow &window,
+                        double *row) const;
+
+    /** Dimensionality of this detector's combined feature vector. */
+    std::size_t featureDim() const;
 
     std::uint32_t decisionPeriod() const override;
     std::vector<int>

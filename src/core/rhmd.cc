@@ -161,6 +161,59 @@ Rhmd::decide(const features::ProgramFeatures &prog)
     return decisions;
 }
 
+std::vector<std::vector<int>>
+Rhmd::decideBatch(
+    const std::vector<const features::ProgramFeatures *> &progs)
+{
+    // Phase 1: consume the switching stream in exactly the order
+    // back-to-back decide() calls would (programs, then epochs), and
+    // plan which window each drawn detector will classify.
+    struct Slot
+    {
+        std::size_t prog;
+        std::size_t epoch;
+    };
+    std::vector<std::vector<Slot>> slots(detectors_.size());
+    std::vector<std::vector<const features::RawWindow *>> rows(
+        detectors_.size());
+    std::vector<std::vector<int>> decisions(progs.size());
+
+    for (std::size_t p = 0; p < progs.size(); ++p) {
+        panic_if(progs[p] == nullptr, "null program in decideBatch");
+        const features::ProgramFeatures &prog = *progs[p];
+        const std::size_t n_epochs = prog.windows(epoch_).size();
+        decisions[p].assign(n_epochs, 0);
+        for (std::size_t e = 0; e < n_epochs; ++e) {
+            const std::size_t pick = rng_.weightedIndex(policy_);
+            ++selectionCounts_[pick];
+            epochsCounter().add(1);
+            selectionHistogram().observe(static_cast<double>(pick));
+            const std::uint32_t period =
+                detectors_[pick]->decisionPeriod();
+            const std::size_t index = e * (epoch_ / period);
+            const auto &windows = prog.windows(period);
+            panic_if(index >= windows.size(),
+                     "window index out of range for period ", period);
+            slots[pick].push_back({p, e});
+            rows[pick].push_back(&windows[index]);
+        }
+    }
+
+    // Phase 2: each selected detector scores all of its rows in one
+    // batch pass; decisions scatter back to (program, epoch).
+    for (std::size_t d = 0; d < detectors_.size(); ++d) {
+        if (rows[d].empty())
+            continue;
+        const Hmd &det = *detectors_[d];
+        const std::vector<double> scores = det.scoreWindows(rows[d]);
+        for (std::size_t i = 0; i < scores.size(); ++i) {
+            decisions[slots[d][i].prog][slots[d][i].epoch] =
+                scores[i] >= det.threshold() ? 1 : 0;
+        }
+    }
+    return decisions;
+}
+
 std::vector<double>
 Rhmd::realizedPolicy() const
 {

@@ -63,6 +63,18 @@ class Rhmd : public Detector
     std::vector<int>
     decide(const features::ProgramFeatures &prog) override;
 
+    /**
+     * Batched decide over several programs: draws the switching
+     * stream exactly as back-to-back decide() calls would (programs
+     * in order, epochs in order), then groups all epoch rows by the
+     * selected detector so each base model scores its rows in one
+     * scoreBatch() pass instead of one virtual call per window.
+     * Decisions, selection counts, and metrics are bit-identical to
+     * the serial loop; only the scoring schedule changes.
+     */
+    std::vector<std::vector<int>>
+    decideBatch(const std::vector<const features::ProgramFeatures *> &progs);
+
     /** Base detectors. */
     const std::vector<std::unique_ptr<Hmd>> &detectors() const
     {

@@ -69,6 +69,8 @@ extractProgram(const trace::Program &program, const ExtractConfig &config)
     FeatureSession session(config.periods, config.pmu);
     trace::Executor executor(program, program.seed ^ config.execSalt);
     executor.run(config.traceInsts, session);
+    if (config.emitPartialWindows)
+        session.finish();
 
     ProgramFeatures out;
     out.name = program.name;
@@ -76,7 +78,9 @@ extractProgram(const trace::Program &program, const ExtractConfig &config)
     out.family = program.family;
     std::uint64_t n_windows = 0;
     for (std::uint32_t period : config.periods) {
-        out.byPeriod[period] = session.windows(period);
+        // Move the windows out of the session: programs with many
+        // windows per period would otherwise be deep-copied here.
+        out.byPeriod[period] = session.takeWindows(period);
         n_windows += out.byPeriod[period].size();
     }
     programsCounter().add(1);

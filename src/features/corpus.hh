@@ -41,6 +41,14 @@ struct ExtractConfig
     uarch::PmuConfig pmu{};
     /** Mixed into each program's seed for the execution-level RNG. */
     std::uint64_t execSalt = 0x5eedULL;
+    /**
+     * When true, the trailing partial window of each period is
+     * flushed (flagged truncated) instead of discarded, so programs
+     * shorter than a period — or not a multiple of it — keep their
+     * tail data. Off by default to match the paper's steady-state
+     * methodology.
+     */
+    bool emitPartialWindows = false;
 };
 
 /** Feature windows for an entire corpus. */

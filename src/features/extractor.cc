@@ -54,30 +54,47 @@ FeatureSession::consume(const trace::DynInst &inst)
             ++accum.injectedInWindow;
         if (++win.instCount < accum.period)
             continue;
+        closeWindow(accum, /*truncated=*/false);
+    }
+}
 
-        // Window boundary: architectural events and cycles are the
-        // cumulative monitor/CPI state minus the previous snapshot.
-        // read() routes through the counter fault hook (if any), so
-        // sensor-path noise lands in the extracted windows.
-        const uarch::EventCounts cumulative = monitor_.read();
-        for (std::size_t e = 0; e < uarch::kNumEvents; ++e) {
-            // Clamp: a noisy read can report fewer events than the
-            // previous snapshot; a real counter delta never goes
-            // negative, so saturate at zero instead of wrapping.
-            win.events[e] = cumulative[e] >= accum.eventBase[e]
-                ? cumulative[e] - accum.eventBase[e]
-                : 0;
-        }
-        accum.eventBase = cumulative;
-        win.cycles = cpi_.cycles() - accum.cycleBase;
-        accum.cycleBase = cpi_.cycles();
-        win.injectedFrac =
-            static_cast<double>(accum.injectedInWindow) /
-            static_cast<double>(win.instCount);
-        accum.injectedInWindow = 0;
+void
+FeatureSession::closeWindow(PeriodAccum &accum, bool truncated)
+{
+    RawWindow &win = accum.current;
+    // Window boundary: architectural events and cycles are the
+    // cumulative monitor/CPI state minus the previous snapshot.
+    // read() routes through the counter fault hook (if any), so
+    // sensor-path noise lands in the extracted windows.
+    const uarch::EventCounts cumulative = monitor_.read();
+    for (std::size_t e = 0; e < uarch::kNumEvents; ++e) {
+        // Clamp: a noisy read can report fewer events than the
+        // previous snapshot; a real counter delta never goes
+        // negative, so saturate at zero instead of wrapping.
+        win.events[e] = cumulative[e] >= accum.eventBase[e]
+            ? cumulative[e] - accum.eventBase[e]
+            : 0;
+    }
+    accum.eventBase = cumulative;
+    win.cycles = cpi_.cycles() - accum.cycleBase;
+    accum.cycleBase = cpi_.cycles();
+    win.injectedFrac =
+        static_cast<double>(accum.injectedInWindow) /
+        static_cast<double>(win.instCount);
+    accum.injectedInWindow = 0;
+    win.truncated = truncated;
 
-        accum.done.push_back(win);
-        win = RawWindow{};
+    accum.done.push_back(win);
+    win = RawWindow{};
+}
+
+void
+FeatureSession::finish()
+{
+    for (PeriodAccum &accum : accums_) {
+        if (accum.current.instCount == 0)
+            continue;  // the stream ended exactly on a boundary
+        closeWindow(accum, /*truncated=*/true);
     }
 }
 
@@ -87,6 +104,16 @@ FeatureSession::windows(std::uint32_t period) const
     for (const PeriodAccum &accum : accums_) {
         if (accum.period == period)
             return accum.done;
+    }
+    rhmd_panic("period ", period, " was not configured");
+}
+
+std::vector<RawWindow>
+FeatureSession::takeWindows(std::uint32_t period)
+{
+    for (PeriodAccum &accum : accums_) {
+        if (accum.period == period)
+            return std::move(accum.done);
     }
     rhmd_panic("period ", period, " was not configured");
 }

@@ -22,7 +22,10 @@ namespace rhmd::features
 /**
  * Consumes one program's committed stream and produces RawWindows
  * for every requested collection period in a single pass. Trailing
- * partial windows are discarded, as in the paper's methodology.
+ * partial windows are discarded by default, as in the paper's
+ * steady-state methodology; call finish() to flush them as windows
+ * flagged truncated (short programs and traces whose length is not a
+ * multiple of the period otherwise lose their tail data).
  */
 class FeatureSession : public trace::TraceSink
 {
@@ -37,8 +40,24 @@ class FeatureSession : public trace::TraceSink
 
     void consume(const trace::DynInst &inst) override;
 
+    /**
+     * Flush the in-progress partial window of every period as a
+     * final window with truncated = true (periods whose stream ended
+     * exactly on a boundary emit nothing). Idempotent; call after
+     * the trace ends and before reading windows()/takeWindows().
+     */
+    void finish();
+
     /** Completed windows for one of the configured periods. */
     const std::vector<RawWindow> &windows(std::uint32_t period) const;
+
+    /**
+     * Move the completed windows of @p period out of the session
+     * (the corpus-extraction hot loop uses this instead of deep-
+     * copying every program's windows). The session's vector for
+     * that period is left empty.
+     */
+    std::vector<RawWindow> takeWindows(std::uint32_t period);
 
     /** Estimated whole-trace cycles (CPI model). */
     double totalCycles() const { return cpi_.cycles(); }
@@ -62,6 +81,9 @@ class FeatureSession : public trace::TraceSink
         double cycleBase = 0.0;
         std::uint64_t injectedInWindow = 0;
     };
+
+    /** Finalize the in-progress window of @p accum and push it. */
+    void closeWindow(PeriodAccum &accum, bool truncated);
 
     uarch::PerfMonitor monitor_;
     uarch::CpiModel cpi_;

@@ -44,36 +44,40 @@ FeatureSpec::dim() const
 std::vector<double>
 FeatureSpec::toVector(const RawWindow &window) const
 {
+    std::vector<double> out(dim(), 0.0);
+    appendTo(window, out.data());
+    return out;
+}
+
+void
+FeatureSpec::appendTo(const RawWindow &window, double *out) const
+{
     const double insts =
         std::max<double>(1.0, static_cast<double>(window.instCount));
-    std::vector<double> out;
     switch (kind) {
       case FeatureKind::Instructions: {
         panic_if(opcodeSel.empty(),
                  "Instructions spec has no selected opcodes; run "
                  "selectTopDeltaOpcodes first");
-        out.reserve(opcodeSel.size());
         for (std::size_t sel : opcodeSel) {
             panic_if(sel >= trace::kNumOpClasses,
                      "bad opcode selection index");
-            out.push_back(window.opcodeCounts[sel] / insts);
+            *out++ = window.opcodeCounts[sel] / insts;
         }
-        break;
+        return;
       }
       case FeatureKind::Memory: {
-        out.reserve(kNumMemBins);
         for (std::uint32_t count : window.memDeltaBins)
-            out.push_back(count / insts);
-        break;
+            *out++ = count / insts;
+        return;
       }
       case FeatureKind::Architectural: {
-        out.reserve(uarch::kNumEvents);
         for (std::uint64_t count : window.events)
-            out.push_back(static_cast<double>(count) / insts);
-        break;
+            *out++ = static_cast<double>(count) / insts;
+        return;
       }
     }
-    return out;
+    rhmd_panic("bad feature kind");
 }
 
 std::string
@@ -142,13 +146,19 @@ std::vector<double>
 combinedVector(const std::vector<FeatureSpec> &specs,
                const RawWindow &window)
 {
-    std::vector<double> out;
-    out.reserve(combinedDim(specs));
-    for (const FeatureSpec &spec : specs) {
-        const std::vector<double> part = spec.toVector(window);
-        out.insert(out.end(), part.begin(), part.end());
-    }
+    std::vector<double> out(combinedDim(specs), 0.0);
+    fillCombined(specs, window, out.data());
     return out;
+}
+
+void
+fillCombined(const std::vector<FeatureSpec> &specs,
+             const RawWindow &window, double *out)
+{
+    for (const FeatureSpec &spec : specs) {
+        spec.appendTo(window, out);
+        out += spec.dim();
+    }
 }
 
 std::size_t

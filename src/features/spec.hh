@@ -52,6 +52,13 @@ struct FeatureSpec
     /** Convert one raw window into the numeric feature vector. */
     std::vector<double> toVector(const RawWindow &window) const;
 
+    /**
+     * Write this spec's dim() feature values for @p window into
+     * @p out. The allocation-free form of toVector() used by the
+     * batch scoring path; values and computation order are identical.
+     */
+    void appendTo(const RawWindow &window, double *out) const;
+
     /** Human-readable description, e.g. "instructions@10k". */
     std::string describe() const;
 
@@ -80,6 +87,13 @@ std::vector<std::size_t> selectTopDeltaOpcodes(
 /** Concatenate the vectors of several specs for one window. */
 std::vector<double> combinedVector(const std::vector<FeatureSpec> &specs,
                                    const RawWindow &window);
+
+/**
+ * Write the combined vector of @p specs for one window into @p out
+ * (combinedDim(specs) doubles), without allocating.
+ */
+void fillCombined(const std::vector<FeatureSpec> &specs,
+                  const RawWindow &window, double *out);
 
 /** Total dimensionality of a combined spec list. */
 std::size_t combinedDim(const std::vector<FeatureSpec> &specs);

@@ -52,6 +52,14 @@ struct RawWindow
 
     /** Fraction of this window's instructions that were injected. */
     double injectedFrac = 0.0;
+
+    /**
+     * True when this is a partial tail window emitted by
+     * FeatureSession::finish() (instCount < the collection period).
+     * Full windows from the paper's steady-state methodology are
+     * never truncated.
+     */
+    bool truncated = false;
 };
 
 } // namespace rhmd::features

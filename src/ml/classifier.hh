@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "features/matrix.hh"
 #include "ml/dataset.hh"
 #include "support/rng.hh"
 
@@ -36,6 +37,26 @@ class Classifier
 
     /** Positive-class score in [0, 1]. */
     virtual double score(const std::vector<double> &x) const = 0;
+
+    /**
+     * Positive-class scores for every row of @p x, in row order.
+     *
+     * The base implementation is the serial fallback: copy each row
+     * out and call score(). Overrides walk the contiguous rows with
+     * allocation-free inner loops, but MUST keep the per-row
+     * accumulation order of score() exactly — batch scores are
+     * required to be bit-identical to the per-window path by the
+     * determinism gates (DESIGN.md §11).
+     */
+    virtual std::vector<double>
+    scoreBatch(const features::FeatureMatrix &x) const
+    {
+        std::vector<double> out;
+        out.reserve(x.rows());
+        for (std::size_t r = 0; r < x.rows(); ++r)
+            out.push_back(score(x.rowVector(r)));
+        return out;
+    }
 
     /** Deep copy (used to stamp out detector pools). */
     virtual std::unique_ptr<Classifier> clone() const = 0;

@@ -108,6 +108,13 @@ Standardizer::apply(const std::vector<double> &v) const
     return out;
 }
 
+void
+Standardizer::applyInPlace(double *row) const
+{
+    for (std::size_t j = 0; j < mean.size(); ++j)
+        row[j] = (row[j] - mean[j]) / scale[j];
+}
+
 Dataset
 Standardizer::transform(const Dataset &data) const
 {

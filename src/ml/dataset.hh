@@ -64,6 +64,13 @@ struct Standardizer
     /** Transform one vector. */
     std::vector<double> apply(const std::vector<double> &v) const;
 
+    /**
+     * Transform @p row (dim() doubles) in place — the allocation-free
+     * form of apply() used when filling feature-matrix rows. Values
+     * are bit-identical to apply().
+     */
+    void applyInPlace(double *row) const;
+
     /** Transform a whole dataset. */
     Dataset transform(const Dataset &data) const;
 

@@ -131,13 +131,29 @@ double
 DecisionTree::score(const std::vector<double> &x) const
 {
     panic_if(nodes_.empty(), "DT scored before training");
+    return scoreRow(x.data());
+}
+
+double
+DecisionTree::scoreRow(const double *row) const
+{
     std::int32_t node = 0;
     while (!nodes_[node].leaf) {
-        node = x[nodes_[node].feature] <= nodes_[node].threshold
+        node = row[nodes_[node].feature] <= nodes_[node].threshold
             ? nodes_[node].left
             : nodes_[node].right;
     }
     return nodes_[node].value;
+}
+
+std::vector<double>
+DecisionTree::scoreBatch(const features::FeatureMatrix &x) const
+{
+    panic_if(nodes_.empty(), "DT scored before training");
+    std::vector<double> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        out[r] = scoreRow(x.row(r));
+    return out;
 }
 
 std::unique_ptr<Classifier>

@@ -77,6 +77,28 @@ LogisticRegression::score(const std::vector<double> &x) const
     return sigmoid(dot(weights_, x) + bias_);
 }
 
+std::vector<double>
+LogisticRegression::scoreBatch(const features::FeatureMatrix &x) const
+{
+    panic_if(weights_.empty(), "LR scored before training");
+    panic_if(x.rows() > 0 && x.cols() != weights_.size(),
+             "LR batch dim mismatch: ", x.cols(), " vs ",
+             weights_.size());
+    const std::size_t d = weights_.size();
+    const double *w = weights_.data();
+    std::vector<double> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const double *row = x.row(r);
+        // Same left-to-right accumulation as support::dot, so the
+        // batch score is bit-identical to score().
+        double z = 0.0;
+        for (std::size_t j = 0; j < d; ++j)
+            z += w[j] * row[j];
+        out[r] = sigmoid(z + bias_);
+    }
+    return out;
+}
+
 std::unique_ptr<Classifier>
 LogisticRegression::clone() const
 {

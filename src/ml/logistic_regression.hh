@@ -37,6 +37,8 @@ class LogisticRegression : public Classifier
 
     void train(const Dataset &data, Rng &rng) override;
     double score(const std::vector<double> &x) const override;
+    std::vector<double>
+    scoreBatch(const features::FeatureMatrix &x) const override;
     std::unique_ptr<Classifier> clone() const override;
     std::string name() const override { return "LR"; }
 

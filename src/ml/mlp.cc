@@ -109,6 +109,30 @@ Mlp::score(const std::vector<double> &x) const
     return sigmoid(z_out);
 }
 
+std::vector<double>
+Mlp::scoreBatch(const features::FeatureMatrix &x) const
+{
+    panic_if(w1_.empty(), "MLP scored before training");
+    panic_if(x.rows() > 0 && x.cols() != inputDim_,
+             "MLP batch dim mismatch: ", x.cols(), " vs ", inputDim_);
+    std::vector<double> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const double *row = x.row(r);
+        double z_out = b2_;
+        for (std::size_t h = 0; h < w1_.size(); ++h) {
+            // Inline dot with score()'s accumulation order so batch
+            // and serial activations are bit-identical.
+            const double *wh = w1_[h].data();
+            double z = 0.0;
+            for (std::size_t j = 0; j < inputDim_; ++j)
+                z += wh[j] * row[j];
+            z_out += w2_[h] * std::tanh(z + b1_[h]);
+        }
+        out[r] = sigmoid(z_out);
+    }
+    return out;
+}
+
 std::unique_ptr<Classifier>
 Mlp::clone() const
 {

@@ -99,6 +99,29 @@ RandomForest::score(const std::vector<double> &x) const
     return total / static_cast<double>(trees_.size());
 }
 
+std::vector<double>
+RandomForest::scoreBatch(const features::FeatureMatrix &x) const
+{
+    panic_if(trees_.empty(), "RF scored before training");
+    std::vector<double> out(x.rows());
+    // One projection buffer reused across every (row, tree) pair;
+    // tree order and the running sum match score() exactly.
+    std::vector<double> projected;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const double *row = x.row(r);
+        double total = 0.0;
+        for (std::size_t t = 0; t < trees_.size(); ++t) {
+            projected.clear();
+            projected.reserve(featureSel_[t].size());
+            for (std::size_t f : featureSel_[t])
+                projected.push_back(row[f]);
+            total += trees_[t].scoreRow(projected.data());
+        }
+        out[r] = total / static_cast<double>(trees_.size());
+    }
+    return out;
+}
+
 std::unique_ptr<Classifier>
 RandomForest::clone() const
 {

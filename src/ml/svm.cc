@@ -64,6 +64,28 @@ LinearSvm::score(const std::vector<double> &x) const
     return sigmoid(config_.scoreSharpness * margin(x));
 }
 
+std::vector<double>
+LinearSvm::scoreBatch(const features::FeatureMatrix &x) const
+{
+    panic_if(weights_.empty(), "SVM scored before training");
+    panic_if(x.rows() > 0 && x.cols() != weights_.size(),
+             "SVM batch dim mismatch: ", x.cols(), " vs ",
+             weights_.size());
+    const std::size_t d = weights_.size();
+    const double *w = weights_.data();
+    std::vector<double> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const double *row = x.row(r);
+        // margin() via support::dot's accumulation order, so batch
+        // scores are bit-identical to score().
+        double z = 0.0;
+        for (std::size_t j = 0; j < d; ++j)
+            z += w[j] * row[j];
+        out[r] = sigmoid(config_.scoreSharpness * (z + bias_));
+    }
+    return out;
+}
+
 std::unique_ptr<Classifier>
 LinearSvm::clone() const
 {

@@ -242,10 +242,25 @@ DetectionRuntime::detectionRate(
     fatal_if(programs.empty(),
              "detectionRate needs at least one program");
     std::size_t detected = 0;
+    std::size_t failed = 0;
     for (const auto *prog : programs) {
         panic_if(prog == nullptr, "null program in detectionRate");
         auto report = processProgram(*prog);
-        if (report.isOk() && report->programDecision == 1)
+        if (!report.isOk()) {
+            // Fail-open: an unclassifiable program counts as
+            // not-detected, but that must not be silent — warn on the
+            // first failure (the rest are visible in
+            // runtime.failed_programs) so a degraded deployment's
+            // detection rate is not mistaken for a clean one.
+            if (failed == 0)
+                warn(rhmd::detail::concat(
+                    "detectionRate: program '", prog->name,
+                    "' counted as not-detected: ",
+                    report.status().toString()));
+            ++failed;
+            continue;
+        }
+        if (report->programDecision == 1)
             ++detected;
     }
     return static_cast<double>(detected) /

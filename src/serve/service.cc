@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Batched detection service implementation.
+ */
+
+#include "serve/service.hh"
+
+#include <cmath>
+
+#include "core/rhmd.hh"
+#include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/parallel.hh"
+
+namespace rhmd::serve
+{
+
+namespace
+{
+
+bool
+validScore(double score)
+{
+    return std::isfinite(score) && score >= 0.0 && score <= 1.0;
+}
+
+// Deterministic serve metrics count request outcomes, which with a
+// healthy pool and no shedding depend only on (seed, keys, programs);
+// everything shaped by scheduling — batch composition, queue depth,
+// shedding — is Timing and stripped before determinism diffs.
+
+struct ServeCounters
+{
+    support::Counter &requests = support::metrics().counter(
+        "serve.requests", "requests submitted to the detection service");
+    support::Counter &responses = support::metrics().counter(
+        "serve.responses", "requests answered with a classification");
+    support::Counter &malwareFlagged = support::metrics().counter(
+        "serve.malware_flagged",
+        "served requests whose program decision was malware");
+    support::Counter &detectorFailures = support::metrics().counter(
+        "serve.detector_failures",
+        "invalid detector scores failed over while serving");
+    support::Counter &shedQueueFull = support::metrics().counter(
+        "serve.shed_queue_full",
+        "requests shed at submit because the queue was full",
+        support::MetricDomain::Timing);
+    support::Counter &shedDeadline = support::metrics().counter(
+        "serve.shed_deadline",
+        "requests shed after exceeding the queueing deadline",
+        support::MetricDomain::Timing);
+    support::Counter &batches = support::metrics().counter(
+        "serve.batches", "batches drained from the request queue",
+        support::MetricDomain::Timing);
+    support::Histogram &batchSize = support::metrics().histogram(
+        "serve.batch_size", "requests per drained batch",
+        {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0},
+        support::MetricDomain::Timing);
+    support::Gauge &queueDepthPeak = support::metrics().gauge(
+        "serve.queue_depth_peak", "maximum observed request-queue depth",
+        support::MetricDomain::Timing);
+};
+
+ServeCounters &
+serveCounters()
+{
+    static ServeCounters counters;
+    return counters;
+}
+
+} // namespace
+
+DetectionService::DetectionService(const core::Rhmd &pool,
+                                   ServeConfig config)
+    : pool_(pool), config_(config), switchRng_(config.seed),
+      failoverRng_(config.seed ^ 0xfa170f32c001d00dULL),
+      health_(pool.poolSize(), config.health),
+      queue_(config.queueCapacity == 0 ? 1 : config.queueCapacity)
+{
+    fatal_if(config_.maxBatch == 0,
+             "DetectionService maxBatch must be > 0");
+    fatal_if(config_.queueCapacity == 0,
+             "DetectionService queueCapacity must be > 0");
+
+    const std::size_t n_workers =
+        support::resolveThreadCount(config_.workers);
+    workers_.reserve(n_workers);
+    for (std::size_t w = 0; w < n_workers; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+DetectionService::~DetectionService()
+{
+    stop();
+}
+
+std::future<support::StatusOr<ServeReport>>
+DetectionService::submit(const features::ProgramFeatures &prog,
+                         std::uint64_t request_key)
+{
+    ServeCounters &counters = serveCounters();
+    counters.requests.add(1);
+
+    Request req;
+    req.prog = &prog;
+    req.key = request_key;
+    req.enqueued = std::chrono::steady_clock::now();
+    std::future<support::StatusOr<ServeReport>> future =
+        req.promise.get_future();
+
+    std::size_t depth = 0;
+    if (!queue_.tryPush(std::move(req), &depth)) {
+        // Shed at admission: the caller learns immediately instead
+        // of queueing behind work the service cannot absorb. A
+        // failed tryPush never moves from its argument, so the
+        // promise is still ours to fulfill.
+        counters.shedQueueFull.add(1);
+        req.promise.set_value(support::unavailableError(
+            "detection service overloaded (queue of ",
+            queue_.capacity(), " full); retry later"));
+        return future;
+    }
+    counters.queueDepthPeak.updateMax(static_cast<double>(depth));
+    return future;
+}
+
+void
+DetectionService::stop()
+{
+    {
+        const std::lock_guard<std::mutex> lock(stopMutex_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+    }
+    queue_.close();
+    for (std::thread &worker : workers_)
+        worker.join();
+    workers_.clear();
+}
+
+void
+DetectionService::workerLoop()
+{
+    std::vector<Request> batch;
+    while (queue_.popBatch(batch, config_.maxBatch) > 0)
+        processBatch(batch);
+}
+
+void
+DetectionService::processBatch(std::vector<Request> &batch)
+{
+    ServeCounters &counters = serveCounters();
+
+    // Deadline shedding: requests that already waited longer than the
+    // budget get Unavailable before any scoring work is spent.
+    std::vector<Request *> live;
+    live.reserve(batch.size());
+    const auto now = std::chrono::steady_clock::now();
+    for (Request &req : batch) {
+        if (config_.deadlineSeconds > 0.0) {
+            const double waited =
+                std::chrono::duration<double>(now - req.enqueued)
+                    .count();
+            if (waited > config_.deadlineSeconds) {
+                counters.shedDeadline.add(1);
+                req.promise.set_value(support::unavailableError(
+                    "request shed after queueing ", waited,
+                    "s (deadline ", config_.deadlineSeconds, "s)"));
+                continue;
+            }
+        }
+        live.push_back(&req);
+    }
+    if (live.empty())
+        return;
+
+    counters.batches.add(1);
+    counters.batchSize.observe(static_cast<double>(live.size()));
+
+    // One health epoch per drained batch; snapshot the effective
+    // policy once so every request in the batch plans against the
+    // same pool view.
+    support::StatusOr<std::vector<double>> effective =
+        support::unavailableError("unset");
+    {
+        const std::lock_guard<std::mutex> lock(healthMutex_);
+        health_.tick();
+        effective = health_.effectivePolicy(pool_.policy());
+    }
+    if (!effective.isOk()) {
+        for (Request *req : live)
+            req->promise.set_value(effective.status());
+        return;
+    }
+    const std::vector<double> &policy = *effective;
+
+    // Phase 1 — plan: each request draws its switching stream from
+    // (seed, key) alone, so the picks do not depend on batch
+    // composition or worker interleaving. Rows are grouped per
+    // selected detector for one scoreWindows() pass each.
+    struct Slot
+    {
+        std::size_t req;    ///< index into live
+        std::size_t epoch;
+    };
+    const std::size_t n_det = pool_.poolSize();
+    const std::uint32_t epoch_len = pool_.decisionPeriod();
+    std::vector<std::vector<Slot>> slots(n_det);
+    std::vector<std::vector<const features::RawWindow *>> rows(n_det);
+    // Per live request: per-epoch decision, -1 while unclassified.
+    std::vector<std::vector<int>> decided(live.size());
+    std::vector<std::size_t> failures(live.size(), 0);
+
+    for (std::size_t r = 0; r < live.size(); ++r) {
+        const features::ProgramFeatures &prog = *live[r]->prog;
+        const std::size_t n_epochs = prog.windows(epoch_len).size();
+        decided[r].assign(n_epochs, -1);
+        Rng rng = switchRng_.at(live[r]->key);
+        for (std::size_t e = 0; e < n_epochs; ++e) {
+            const std::size_t pick = rng.weightedIndex(policy);
+            const std::uint32_t period =
+                pool_.detectors()[pick]->decisionPeriod();
+            const std::size_t index = e * (epoch_len / period);
+            const auto &windows = prog.windows(period);
+            panic_if(index >= windows.size(),
+                     "window index out of range for period ", period);
+            slots[pick].push_back({r, e});
+            rows[pick].push_back(&windows[index]);
+        }
+    }
+
+    // Phase 2 — score: one batch pass per selected detector. Invalid
+    // scores are reported to the health monitor and their slots fall
+    // through to the serial failover pass below.
+    struct Failed
+    {
+        std::size_t req;
+        std::size_t epoch;
+    };
+    std::vector<Failed> failed;
+    for (std::size_t d = 0; d < n_det; ++d) {
+        if (rows[d].empty())
+            continue;
+        const core::Hmd &det = *pool_.detectors()[d];
+        const std::vector<double> scores = det.scoreWindows(rows[d]);
+        std::size_t valid = 0;
+        for (std::size_t i = 0; i < scores.size(); ++i) {
+            const Slot &slot = slots[d][i];
+            if (!validScore(scores[i])) {
+                ++failures[slot.req];
+                counters.detectorFailures.add(1);
+                failed.push_back({slot.req, slot.epoch});
+                continue;
+            }
+            ++valid;
+            decided[slot.req][slot.epoch] =
+                scores[i] >= det.threshold() ? 1 : 0;
+        }
+        const std::lock_guard<std::mutex> lock(healthMutex_);
+        for (std::size_t i = 0; i < valid; ++i)
+            health_.recordSuccess(d);
+        for (std::size_t i = valid; i < scores.size(); ++i)
+            health_.recordFailure(
+                d, rhmd::detail::concat("invalid score at epoch ",
+                                        health_.epoch()));
+    }
+
+    // Phase 3 — failover: redraw each failed slot from its own
+    // (key, epoch)-derived stream (order-independent) against the
+    // current effective policy, up to the same attempt budget the
+    // runtime uses. A slot that exhausts the budget stays
+    // unclassified.
+    const std::size_t max_attempts =
+        n_det * config_.health.failureThreshold;
+    for (const Failed &f : failed) {
+        const features::ProgramFeatures &prog = *live[f.req]->prog;
+        Rng rng = SplitRng(failoverRng_.seedAt(live[f.req]->key))
+                      .at(f.epoch);
+        for (std::size_t attempt = 0; attempt < max_attempts;
+             ++attempt) {
+            support::StatusOr<std::vector<double>> pol =
+                support::unavailableError("unset");
+            {
+                const std::lock_guard<std::mutex> lock(healthMutex_);
+                pol = health_.effectivePolicy(pool_.policy());
+            }
+            if (!pol.isOk())
+                break;
+            const std::size_t pick = rng.weightedIndex(*pol);
+            const core::Hmd &det = *pool_.detectors()[pick];
+            const std::size_t index =
+                f.epoch * (epoch_len / det.decisionPeriod());
+            const double score = det.windowScore(
+                prog.windows(det.decisionPeriod())[index]);
+            const std::lock_guard<std::mutex> lock(healthMutex_);
+            if (!validScore(score)) {
+                ++failures[f.req];
+                counters.detectorFailures.add(1);
+                health_.recordFailure(
+                    pick,
+                    rhmd::detail::concat("invalid failover score ",
+                                         score));
+                continue;
+            }
+            health_.recordSuccess(pick);
+            decided[f.req][f.epoch] =
+                score >= det.threshold() ? 1 : 0;
+            break;
+        }
+    }
+
+    // Phase 4 — fulfill: compact each request's classified epochs
+    // into its report, majority-vote the program decision.
+    for (std::size_t r = 0; r < live.size(); ++r) {
+        ServeReport report;
+        report.epochs = decided[r].size();
+        report.detectorFailures = failures[r];
+        for (int d : decided[r]) {
+            if (d >= 0)
+                report.decisions.push_back(d);
+        }
+        report.classified = report.decisions.size();
+        if (report.decisions.empty()) {
+            live[r]->promise.set_value(support::unavailableError(
+                "no epoch of '", live[r]->prog->name,
+                "' could be classified (", report.epochs, " epochs, ",
+                report.detectorFailures, " detector failures)"));
+            continue;
+        }
+        std::size_t malware_votes = 0;
+        for (int d : report.decisions)
+            malware_votes += d != 0 ? 1 : 0;
+        report.programDecision =
+            2 * malware_votes >= report.decisions.size() ? 1 : 0;
+        counters.responses.add(1);
+        if (report.programDecision == 1)
+            counters.malwareFlagged.add(1);
+        live[r]->promise.set_value(std::move(report));
+    }
+}
+
+} // namespace rhmd::serve

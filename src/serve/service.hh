@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Batched detection service: the request-at-a-time serving front end
+ * over a resilient detector pool.
+ *
+ * Rhmd::decideBatch() assumes one caller handing it a prepared list
+ * of programs; a deployment instead sees concurrent callers each
+ * submitting one program and expecting an answer (or a fast
+ * rejection) under load. DetectionService provides that boundary: a
+ * bounded multi-producer queue admits requests, worker threads drain
+ * them in batches, each batch is scored through the pool's batch APIs
+ * (Hmd::scoreWindows grouped per selected detector), and invalid
+ * scores feed the HealthMonitor exactly as in DetectionRuntime, with
+ * failover redraws and quarantine-aware policy renormalization.
+ *
+ * Load shedding is explicit: a full queue rejects the request at
+ * submit() (Unavailable, serve.shed_queue_full), and a configured
+ * deadline sheds requests that waited too long in the queue before
+ * any scoring work is spent on them (serve.shed_deadline).
+ *
+ * Determinism (DESIGN.md §11): per-request switching randomness is
+ * derived from (service seed, caller-supplied request key) with
+ * SplitRng, never from a shared sequential stream, so a request's
+ * decisions are independent of arrival order, batch composition, and
+ * worker count. With a healthy pool the service's answer for
+ * (program, key) is bit-identical to a serial replay — this is the
+ * "request-keyed" determinism domain, distinct from the
+ * "pool-sequential" domain of Rhmd::decide/decideBatch.
+ */
+
+#ifndef RHMD_SERVE_SERVICE_HH
+#define RHMD_SERVE_SERVICE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/rhmd.hh"
+#include "runtime/health.hh"
+#include "support/bounded_queue.hh"
+#include "support/rng.hh"
+#include "support/status.hh"
+
+namespace rhmd::serve
+{
+
+/** Serving deployment parameters. */
+struct ServeConfig
+{
+    /** Worker threads draining the request queue; 0 resolves like
+     *  support::resolveThreadCount. */
+    std::size_t workers = 1;
+
+    /** Maximum requests scored in one batch pass. */
+    std::size_t maxBatch = 16;
+
+    /** Bounded request-queue capacity (backpressure depth). */
+    std::size_t queueCapacity = 256;
+
+    /**
+     * Queueing-delay budget in seconds; requests that waited longer
+     * are shed with Unavailable before scoring. 0 disables.
+     */
+    double deadlineSeconds = 0.0;
+
+    /** Degradation policy for failing detectors. */
+    runtime::HealthConfig health{};
+
+    /** Root of the per-request switching streams. */
+    std::uint64_t seed = 0x5e12f1ce;
+};
+
+/** What serving one request observed. */
+struct ServeReport
+{
+    /** Decision epochs in the program's stream. */
+    std::size_t epochs = 0;
+
+    /** Epochs that produced a decision. */
+    std::size_t classified = 0;
+
+    /** Invalid detector scores failed over while serving this
+     *  request. */
+    std::size_t detectorFailures = 0;
+
+    /** Per-epoch decisions (classified epochs only, in order). */
+    std::vector<int> decisions;
+
+    /** Majority program-level decision (ties count as malware). */
+    int programDecision = 0;
+};
+
+/**
+ * Accepts program-feature scoring requests from any number of
+ * producer threads and answers them through a detector pool.
+ *
+ * Submitted programs must outlive their futures and carry windows
+ * for every base period of the pool. Health state accumulates across
+ * requests (always-on semantics); epochs advance per drained batch.
+ */
+class DetectionService
+{
+  public:
+    /**
+     * @param pool   the deployed pool; must outlive the service. The
+     *               pool's policy steers per-request switching; its
+     *               own sequential RNG is never consumed, so serving
+     *               does not perturb replays through Rhmd::decide.
+     * @param config queueing, batching, and degradation knobs.
+     *
+     * Workers start immediately.
+     */
+    DetectionService(const core::Rhmd &pool, ServeConfig config);
+
+    /** Stops and drains the service. */
+    ~DetectionService();
+
+    DetectionService(const DetectionService &) = delete;
+    DetectionService &operator=(const DetectionService &) = delete;
+
+    /**
+     * Submit one program for classification. Returns a future that
+     * resolves to the request's report, or to Unavailable when the
+     * request was shed (queue full / deadline exceeded) or the whole
+     * pool is quarantined.
+     *
+     * @param prog        feature windows; must stay alive until the
+     *                    future resolves.
+     * @param request_key caller-chosen identity of this request; the
+     *                    switching stream is derived from it, so
+     *                    resubmitting a key replays the same
+     *                    decisions (and distinct concurrent requests
+     *                    should use distinct keys).
+     */
+    std::future<support::StatusOr<ServeReport>>
+    submit(const features::ProgramFeatures &prog,
+           std::uint64_t request_key);
+
+    /**
+     * Close the queue, serve the already-admitted backlog, and join
+     * the workers. Idempotent; submit() after stop() sheds.
+     */
+    void stop();
+
+    /** Epoch length: the longest base period in the pool. */
+    std::uint32_t epochLength() const { return pool_.decisionPeriod(); }
+
+    std::size_t poolSize() const { return pool_.poolSize(); }
+
+    /**
+     * Health monitor, for post-hoc inspection. Only quiescent reads
+     * (after stop(), or from tests that control submission) are
+     * meaningful — workers mutate it concurrently while running.
+     */
+    const runtime::HealthMonitor &health() const { return health_; }
+
+  private:
+    struct Request
+    {
+        const features::ProgramFeatures *prog = nullptr;
+        std::uint64_t key = 0;
+        std::chrono::steady_clock::time_point enqueued;
+        std::promise<support::StatusOr<ServeReport>> promise;
+    };
+
+    void workerLoop();
+    void processBatch(std::vector<Request> &batch);
+
+    const core::Rhmd &pool_;
+    ServeConfig config_;
+    SplitRng switchRng_;
+    SplitRng failoverRng_;
+
+    /** Guards health_ (workers report outcomes concurrently). */
+    std::mutex healthMutex_;
+    runtime::HealthMonitor health_;
+
+    support::BoundedQueue<Request> queue_;
+    std::vector<std::thread> workers_;
+    std::mutex stopMutex_;
+    bool stopped_ = false;
+};
+
+} // namespace rhmd::serve
+
+#endif // RHMD_SERVE_SERVICE_HH

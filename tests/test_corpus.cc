@@ -136,6 +136,46 @@ TEST(Split, DeterministicPerSeed)
     EXPECT_NE(a.victimTrain, c.victimTrain);
 }
 
+TEST(Corpus, EmitPartialWindowsKeepsTheTail)
+{
+    trace::GeneratorConfig gen;
+    gen.benignCount = 2;
+    gen.malwareCount = 2;
+    gen.seed = 55;
+    const auto programs =
+        trace::ProgramGenerator(gen).generateCorpus();
+
+    // 32000 instructions: 6 full 5K windows + a 2K tail, 3 full 10K
+    // windows + the same 2K tail.
+    ExtractConfig extract;
+    extract.periods = {5000, 10000};
+    extract.traceInsts = 32000;
+
+    const FeatureCorpus strict = extractCorpus(programs, extract);
+    extract.emitPartialWindows = true;
+    const FeatureCorpus flushed = extractCorpus(programs, extract);
+
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        const ProgramFeatures &s = strict.programs[i];
+        const ProgramFeatures &f = flushed.programs[i];
+        EXPECT_EQ(s.windows(5000).size(), 6u);
+        EXPECT_EQ(s.windows(10000).size(), 3u);
+        ASSERT_EQ(f.windows(5000).size(), 7u);
+        ASSERT_EQ(f.windows(10000).size(), 4u);
+        // The full windows are identical to the strict extraction;
+        // only the flagged tail is new.
+        for (std::size_t w = 0; w < 6; ++w) {
+            EXPECT_FALSE(f.windows(5000)[w].truncated);
+            EXPECT_EQ(f.windows(5000)[w].opcodeCounts,
+                      s.windows(5000)[w].opcodeCounts);
+        }
+        EXPECT_TRUE(f.windows(5000).back().truncated);
+        EXPECT_EQ(f.windows(5000).back().instCount, 2000u);
+        EXPECT_TRUE(f.windows(10000).back().truncated);
+        EXPECT_EQ(f.windows(10000).back().instCount, 2000u);
+    }
+}
+
 TEST(Corpus, InjectedFracZeroForCleanPrograms)
 {
     const FeatureCorpus corpus = smallCorpus();

@@ -270,6 +270,100 @@ TEST(FeatureSession, CyclesArePositiveAndAdditive)
     EXPECT_LE(window_cycles, session.totalCycles() + 1e-9);
 }
 
+TEST(FeatureSession, FinishFlushesTruncatedTail)
+{
+    trace::GeneratorConfig config;
+    config.benignCount = 1;
+    config.malwareCount = 0;
+    const auto programs =
+        trace::ProgramGenerator(config).generateCorpus();
+
+    // 10000 % 3000 != 0: three full windows plus a 1000-instruction
+    // tail that only finish() preserves.
+    FeatureSession session({3000});
+    trace::Executor(programs[0], 6).run(10000, session);
+    ASSERT_EQ(session.windows(3000).size(), 3u);
+    session.finish();
+    const auto &windows = session.windows(3000);
+    ASSERT_EQ(windows.size(), 4u);
+    for (std::size_t w = 0; w < 3; ++w) {
+        EXPECT_FALSE(windows[w].truncated);
+        EXPECT_EQ(windows[w].instCount, 3000u);
+    }
+    const RawWindow &tail = windows[3];
+    EXPECT_TRUE(tail.truncated);
+    EXPECT_EQ(tail.instCount, 1000u);
+    // The tail is a real window: its opcode counts cover exactly its
+    // instructions and its cycle estimate is positive.
+    std::uint64_t total = 0;
+    for (std::uint32_t c : tail.opcodeCounts)
+        total += c;
+    EXPECT_EQ(total, tail.instCount);
+    EXPECT_GT(tail.cycles, 0.0);
+}
+
+TEST(FeatureSession, FinishEmitsWholeTraceWhenPeriodExceedsIt)
+{
+    trace::GeneratorConfig config;
+    config.benignCount = 1;
+    config.malwareCount = 0;
+    const auto programs =
+        trace::ProgramGenerator(config).generateCorpus();
+
+    // A program shorter than its period loses everything without
+    // finish(); with it, the whole trace becomes one truncated
+    // window.
+    FeatureSession session({20000});
+    trace::Executor(programs[0], 7).run(10000, session);
+    EXPECT_TRUE(session.windows(20000).empty());
+    session.finish();
+    const auto &windows = session.windows(20000);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_TRUE(windows[0].truncated);
+    EXPECT_EQ(windows[0].instCount, 10000u);
+}
+
+TEST(FeatureSession, FinishIsIdempotentAndSkipsExactBoundaries)
+{
+    trace::GeneratorConfig config;
+    config.benignCount = 1;
+    config.malwareCount = 0;
+    const auto programs =
+        trace::ProgramGenerator(config).generateCorpus();
+
+    FeatureSession session({2500, 3000});
+    trace::Executor(programs[0], 8).run(10000, session);
+    session.finish();
+    session.finish();
+    // 2500 divides 10000: no partial window existed, so finish()
+    // added nothing; 3000 gained exactly one tail, once.
+    const auto &exact = session.windows(2500);
+    ASSERT_EQ(exact.size(), 4u);
+    for (const RawWindow &w : exact)
+        EXPECT_FALSE(w.truncated);
+    EXPECT_EQ(session.windows(3000).size(), 4u);
+    EXPECT_TRUE(session.windows(3000).back().truncated);
+}
+
+TEST(FeatureSession, TakeWindowsMovesInsteadOfCopying)
+{
+    trace::GeneratorConfig config;
+    config.benignCount = 1;
+    config.malwareCount = 0;
+    const auto programs =
+        trace::ProgramGenerator(config).generateCorpus();
+
+    FeatureSession session({1000});
+    trace::Executor(programs[0], 9).run(10000, session);
+    const RawWindow *storage = session.windows(1000).data();
+    const std::vector<RawWindow> taken = session.takeWindows(1000);
+    ASSERT_EQ(taken.size(), 10u);
+    // Same backing storage: the vector was moved out, not copied,
+    // and the session's vector is left empty.
+    EXPECT_EQ(taken.data(), storage);
+    EXPECT_TRUE(session.windows(1000).empty());
+}
+
 TEST(FeatureSession, RejectsBadPeriods)
 {
     EXPECT_EXIT(FeatureSession({}), ::testing::ExitedWithCode(1),

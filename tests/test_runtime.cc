@@ -435,6 +435,27 @@ TEST(Runtime, NoisyWindowsStillClassify)
     }
 }
 
+TEST(Runtime, DetectionRateCountsFailedProgramsAsNotDetected)
+{
+    auto pool = threeDetectorPool();
+    RuntimeConfig config;
+    // Every sensor read fails permanently: every program's run ends
+    // in an error, and the fail-open aggregate must report them as
+    // not-detected instead of aborting or skipping them silently.
+    config.faults.transientReadFailProb = 1.0;
+    config.sensorRetry.maxAttempts = 2;
+    DetectionRuntime runtime(*pool, config);
+
+    const core::Experiment &exp = sharedExperiment();
+    std::vector<const features::ProgramFeatures *> malware;
+    for (std::size_t idx : exp.malwareOf(exp.split().attackerTest))
+        malware.push_back(&exp.corpus().programs[idx]);
+    ASSERT_FALSE(malware.empty());
+
+    EXPECT_DOUBLE_EQ(runtime.detectionRate(malware), 0.0);
+    EXPECT_EQ(runtime.failedPrograms(), malware.size());
+}
+
 // --- Recoverable Rhmd construction ---------------------------------
 
 TEST(Runtime, InvalidPolicySurfacesAsStatus)

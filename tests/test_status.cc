@@ -143,6 +143,70 @@ TEST(Retry, WorksWithPlainStatus)
     EXPECT_EQ(calls, 2);
 }
 
+TEST(Retry, NonTransientErrorNeverSleepsOrCountsRetries)
+{
+    // The short-circuit must happen before any backoff bookkeeping:
+    // a permanent error costs one attempt, zero waiting.
+    RetryPolicy policy;
+    policy.maxAttempts = 5;
+    int calls = 0;
+    RetryStats stats;
+    std::vector<double> waits;
+    auto result = retryWithBackoff(
+        policy,
+        [&]() -> StatusOr<int> {
+            ++calls;
+            return invalidArgumentError("bad request");
+        },
+        &stats, [&](double delay) { waits.push_back(delay); });
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(calls, 1);
+    EXPECT_TRUE(waits.empty());
+    EXPECT_EQ(stats.retries, 0u);
+    EXPECT_DOUBLE_EQ(stats.backoffSpent, 0.0);
+}
+
+TEST(Retry, BackoffCapBoundsEveryWait)
+{
+    // With a fast multiplier the cap dominates the schedule:
+    // 1, 4, then 8 forever.
+    RetryPolicy policy;
+    policy.maxAttempts = 6;
+    policy.initialBackoff = 1.0;
+    policy.backoffMultiplier = 4.0;
+    policy.maxBackoff = 8.0;
+    RetryStats stats;
+    std::vector<double> waits;
+    retryWithBackoff(
+        policy, [&]() -> Status { return unavailableError("down"); },
+        &stats, [&](double delay) { waits.push_back(delay); });
+    const std::vector<double> expected{1.0, 4.0, 8.0, 8.0, 8.0};
+    EXPECT_EQ(waits, expected);
+    EXPECT_DOUBLE_EQ(stats.backoffSpent, 1.0 + 4.0 + 8.0 * 3);
+}
+
+TEST(Retry, StatsAccumulateAcrossCalls)
+{
+    // One RetryStats threads through a whole deployment run; each
+    // retried call adds to it instead of resetting it.
+    RetryPolicy policy;
+    policy.maxAttempts = 3;
+    RetryStats stats;
+    for (int round = 0; round < 2; ++round) {
+        int calls = 0;
+        retryWithBackoff(
+            policy,
+            [&]() -> Status {
+                if (++calls < 3)
+                    return unavailableError("transient");
+                return {};
+            },
+            &stats);
+    }
+    EXPECT_EQ(stats.retries, 4u);
+    EXPECT_DOUBLE_EQ(stats.backoffSpent, 2 * (1.0 + 2.0));
+}
+
 TEST(Retry, SleeperSeesTheBackoffSchedule)
 {
     RetryPolicy policy;
