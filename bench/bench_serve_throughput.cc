@@ -50,7 +50,22 @@ struct CellResult
     std::uint64_t decisionHash = 0;
     std::size_t malwareFlagged = 0;
     std::size_t classified = 0;
+    std::uint64_t poolVersion = 0;
 };
+
+/** Sum of every serve.shed_* counter (all shedding layers). */
+std::uint64_t
+totalSheds()
+{
+    std::uint64_t total = 0;
+    for (const char *name :
+         {"serve.shed_queue_full", "serve.shed_deadline",
+          "serve.shed_stopped", "serve.shed_quota",
+          "serve.shed_circuit_open"}) {
+        total += support::metrics().counterValue(name);
+    }
+    return total;
+}
 
 } // namespace
 
@@ -88,6 +103,7 @@ main(int argc, char **argv)
 
     const std::size_t max_workers = std::max<std::size_t>(
         bench::session().threads, 1);
+    const std::uint64_t sheds_before = totalSheds();
     std::vector<CellResult> cells;
     for (std::size_t workers : {std::size_t{1}, max_workers}) {
         for (std::size_t batch : {1u, 16u, 64u}) {
@@ -120,12 +136,14 @@ main(int argc, char **argv)
                 std::vector<double> latencies;
                 std::vector<std::vector<int>> decisions;
                 std::vector<int> verdicts;
+                std::vector<std::uint64_t> versions;
             };
             const auto runLoad = [&] {
                 const std::size_t n_producers = 4;
                 RunResult run;
                 run.decisions.resize(reqs.size());
                 run.verdicts.assign(reqs.size(), 0);
+                run.versions.assign(reqs.size(), 0);
                 std::vector<std::vector<double>> producerLat(
                     n_producers);
                 std::vector<std::thread> producers;
@@ -166,6 +184,8 @@ main(int argc, char **argv)
                                 std::move(report->decisions);
                             run.verdicts[futures[k].first] =
                                 report->programDecision;
+                            run.versions[futures[k].first] =
+                                report->poolVersion;
                         }
                     });
                 }
@@ -196,11 +216,14 @@ main(int argc, char **argv)
 
             cell.wallSeconds = best.wallSeconds;
             cell.decisionHash = 0xcbf29ce484222325ULL;
+            cell.poolVersion = best.versions.front();
             for (std::size_t i = 0; i < reqs.size(); ++i) {
                 cell.decisionHash =
                     hashDecisions(cell.decisionHash, best.decisions[i]);
                 cell.classified += best.decisions[i].size();
                 cell.malwareFlagged += best.verdicts[i] == 1 ? 1 : 0;
+                fatal_if(best.versions[i] != cell.poolVersion,
+                         "pool version changed without a swap");
             }
             cell.p50Micros = best.latencies[best.latencies.size() / 2];
             cell.p99Micros =
@@ -246,17 +269,22 @@ main(int argc, char **argv)
                 batch1_rate > 0.0 ? batch64_rate / batch1_rate : 0.0);
 
     // Deterministic table: identical in every cell (asserted above),
-    // so record it once for the cross-thread bench diff.
+    // so record it once for the cross-thread bench diff. The shed
+    // column must be zero — capacity covers the whole load — and the
+    // pool version is 1 throughout (this bench never swaps); both are
+    // recorded so a shedding or versioning regression breaks the diff.
     std::printf("\ndeterministic serving results (all cells equal)\n");
     Table det({"requests", "classified", "malware_flagged",
-               "decision_hash"});
+               "decision_hash", "sheds", "pool_version"});
     char hash_hex[32];
     std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
                   static_cast<unsigned long long>(
                       cells.front().decisionHash));
     det.addRow({std::to_string(total_requests),
                 std::to_string(cells.front().classified),
-                std::to_string(cells.front().malwareFlagged), hash_hex});
+                std::to_string(cells.front().malwareFlagged), hash_hex,
+                std::to_string(totalSheds() - sheds_before),
+                std::to_string(cells.front().poolVersion)});
     emitTable(det);
 
     return bench::finish();

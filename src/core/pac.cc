@@ -91,4 +91,22 @@ computePac(const Rhmd &pool, const features::FeatureCorpus &corpus,
     return report;
 }
 
+support::Status
+checkPacFloor(const Rhmd &candidate, const Rhmd &current,
+              const features::FeatureCorpus &corpus,
+              const std::vector<std::size_t> &test_idx, double tolerance)
+{
+    fatal_if(tolerance < 0.0, "PAC floor tolerance must be >= 0");
+    const PacReport cand = computePac(candidate, corpus, test_idx);
+    const PacReport cur = computePac(current, corpus, test_idx);
+    if (cand.lowerBound + tolerance < cur.lowerBound) {
+        return support::failedPreconditionError(
+            "candidate pool worsens the provable reverse-engineering "
+            "floor: Theorem-1 lower bound ",
+            cand.lowerBound, " vs current ", cur.lowerBound,
+            " (tolerance ", tolerance, ")");
+    }
+    return support::Status();
+}
+
 } // namespace rhmd::core

@@ -47,6 +47,22 @@ PacReport computePac(const Rhmd &pool,
                      const features::FeatureCorpus &corpus,
                      const std::vector<std::size_t> &test_idx);
 
+/**
+ * Promotion criterion for live pool swaps (cf. "Certifiably robust
+ * malware detectors by design": only deploy a candidate whose
+ * provable floor holds up). Computes the Theorem-1 quantities for
+ * @p candidate and @p current over the same test programs and rejects
+ * (FailedPrecondition) a candidate whose reverse-engineering lower
+ * bound falls more than @p tolerance below the current pool's — i.e.
+ * a pool that would be provably *easier* to reverse-engineer must not
+ * replace the one being served. Returns Ok with the bounds in the
+ * message data path otherwise.
+ */
+support::Status checkPacFloor(const Rhmd &candidate, const Rhmd &current,
+                              const features::FeatureCorpus &corpus,
+                              const std::vector<std::size_t> &test_idx,
+                              double tolerance = 0.0);
+
 } // namespace rhmd::core
 
 #endif // RHMD_CORE_PAC_HH

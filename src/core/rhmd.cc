@@ -235,6 +235,18 @@ Rhmd::reseed(std::uint64_t seed)
     rng_ = Rng(seed);
 }
 
+support::Status
+Rhmd::validate() const
+{
+    support::Status status = validateDetectorPool(detectors_);
+    if (!status.isOk())
+        return status;
+    // validatePolicy normalizes in place; validate a copy so a const
+    // pool is never mutated.
+    std::vector<double> policy = policy_;
+    return validatePolicy(policy, detectors_.size());
+}
+
 RotatingRhmd::RotatingRhmd(std::vector<std::unique_ptr<Hmd>> candidates,
                            std::size_t active_size,
                            std::uint32_t rotation_epochs,

@@ -108,6 +108,16 @@ class Rhmd : public Detector
     /** Reseed the switching randomness (reproducible replays). */
     void reseed(std::uint64_t seed);
 
+    /**
+     * Re-run the pool and policy invariants on an already-constructed
+     * pool. Construction validates too, but a pool offered for live
+     * promotion (serve::PoolManager::swapPool) is revalidated at the
+     * admission boundary so a candidate that decayed after
+     * construction — a detector whose model was clobbered in place,
+     * an externally mutated policy — is rejected instead of served.
+     */
+    support::Status validate() const;
+
   private:
     std::vector<std::unique_ptr<Hmd>> detectors_;
     std::vector<double> policy_;

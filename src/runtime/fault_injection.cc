@@ -134,6 +134,24 @@ FaultInjector::corruptText(const std::string &text)
     return out;
 }
 
+bool
+FaultInjector::keyedFault(std::uint64_t seed, std::uint64_t key,
+                          std::uint64_t epoch, std::uint64_t detector,
+                          double prob)
+{
+    if (prob <= 0.0)
+        return false;
+    if (prob >= 1.0)
+        return true;
+    // Three chained SplitRng derivations give one well-mixed 64-bit
+    // word per coordinate; the top 53 bits map to [0, 1) exactly as
+    // Rng::uniform does.
+    const std::uint64_t per_key = SplitRng(seed).seedAt(key);
+    const std::uint64_t per_epoch = SplitRng(per_key).seedAt(epoch);
+    const std::uint64_t draw = SplitRng(per_epoch).seedAt(detector);
+    return static_cast<double>(draw >> 11) * 0x1.0p-53 < prob;
+}
+
 uarch::CounterReadHook
 FaultInjector::counterHook()
 {

@@ -106,6 +106,20 @@ class FaultInjector
     std::string corruptText(const std::string &text);
 
     /**
+     * Stateless keyed Bernoulli: whether a fault of probability
+     * @p prob fires at the (seed, key, epoch, detector) coordinate.
+     * Unlike the injector's sequential stream, the draw is a pure
+     * function of its coordinates, so layers that must stay
+     * schedule-independent (the serving chaos harness, which promises
+     * bit-identical decisions per request key across worker counts)
+     * can consult it from any thread, in any order, and get the same
+     * answer.
+     */
+    static bool keyedFault(std::uint64_t seed, std::uint64_t key,
+                           std::uint64_t epoch, std::uint64_t detector,
+                           double prob);
+
+    /**
      * A counter-read hook for uarch::PerfMonitor that applies the
      * same noise/quantization/stuck-at model at the counter source,
      * for experiments that inject faults during extraction rather

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Pool manager implementation.
+ */
+
+#include "serve/pool_manager.hh"
+
+#include "core/pac.hh"
+#include "support/logging.hh"
+#include "support/metrics.hh"
+
+namespace rhmd::serve
+{
+
+namespace
+{
+
+// Swap outcomes are driven by explicit promotion calls, not by the
+// schedule, so they sit in the Deterministic domain: a bench that
+// attempts N promotions sees the same attempt/accept/reject counts at
+// any thread count.
+
+struct SwapCounters
+{
+    support::Counter &attempts = support::metrics().counter(
+        "serve.swap_attempts", "pool promotions attempted");
+    support::Counter &accepted = support::metrics().counter(
+        "serve.swap_accepted", "pool promotions published");
+    support::Counter &rejected = support::metrics().counter(
+        "serve.swap_rejected",
+        "pool promotions rejected at the gate (invalid candidate or "
+        "PAC floor regression)");
+};
+
+SwapCounters &
+swapCounters()
+{
+    static SwapCounters counters;
+    return counters;
+}
+
+} // namespace
+
+PoolManager::PoolManager(std::shared_ptr<const core::Rhmd> initial,
+                         const runtime::HealthConfig &health,
+                         PromotionGate gate)
+    : healthConfig_(health), gate_(std::move(gate))
+{
+    fatal_if(initial == nullptr, "PoolManager needs an initial pool");
+    const support::Status valid = initial->validate();
+    fatal_if(!valid.isOk(), "initial pool invalid: ", valid.toString());
+    fatal_if(gate_.corpus != nullptr && gate_.testIdx.empty(),
+             "PromotionGate with a corpus needs test programs");
+    fatal_if(gate_.floorTolerance < 0.0,
+             "PromotionGate floor tolerance must be >= 0");
+    current_ = std::make_shared<PoolState>(std::move(initial), 1,
+                                           healthConfig_);
+}
+
+std::shared_ptr<PoolState>
+PoolManager::current() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return current_;
+}
+
+std::uint64_t
+PoolManager::version() const
+{
+    return current()->version;
+}
+
+support::StatusOr<std::uint64_t>
+PoolManager::swapPool(std::shared_ptr<const core::Rhmd> candidate)
+{
+    SwapCounters &counters = swapCounters();
+    counters.attempts.add(1);
+
+    // One promotion at a time: the gate must evaluate the candidate
+    // against the version it would actually replace.
+    const std::lock_guard<std::mutex> swap_lock(swapMutex_);
+
+    if (candidate == nullptr) {
+        counters.rejected.add(1);
+        return support::invalidArgumentError(
+            "swapPool needs a candidate pool");
+    }
+    const support::Status valid = candidate->validate();
+    if (!valid.isOk()) {
+        counters.rejected.add(1);
+        return support::failedPreconditionError(
+            "candidate pool rejected at promotion: ", valid.toString());
+    }
+
+    const std::shared_ptr<PoolState> predecessor = current();
+    if (gate_.corpus != nullptr) {
+        const support::Status floor = core::checkPacFloor(
+            *candidate, *predecessor->pool, *gate_.corpus, gate_.testIdx,
+            gate_.floorTolerance);
+        if (!floor.isOk()) {
+            counters.rejected.add(1);
+            return floor;
+        }
+    }
+
+    auto next = std::make_shared<PoolState>(
+        std::move(candidate), predecessor->version + 1, healthConfig_);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        current_ = next;
+    }
+    counters.accepted.add(1);
+    // The predecessor snapshot is now unreachable for new batches;
+    // in-flight batches still hold it and it reclaims when the last
+    // one finishes. Nothing to free here — that is the point.
+    return next->version;
+}
+
+} // namespace rhmd::serve

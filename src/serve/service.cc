@@ -24,10 +24,29 @@ validScore(double score)
     return std::isfinite(score) && score >= 0.0 && score <= 1.0;
 }
 
+/**
+ * Hard ceiling on failover redraws per failed slot. The nominal
+ * budget is pool-size * failureThreshold (as in DetectionRuntime),
+ * but deployments that disable quarantine by setting a huge threshold
+ * (the chaos bench does) must not turn one poisoned slot into an
+ * unbounded retry loop. Part of the replay contract: serial replays
+ * of a request must apply the same ceiling.
+ */
+constexpr std::size_t kMaxFailoverAttempts = 64;
+
+std::size_t
+failoverBudget(std::size_t n_detectors, std::size_t failure_threshold)
+{
+    if (failure_threshold >= kMaxFailoverAttempts / n_detectors)
+        return kMaxFailoverAttempts;
+    return n_detectors * failure_threshold;
+}
+
 // Deterministic serve metrics count request outcomes, which with a
-// healthy pool and no shedding depend only on (seed, keys, programs);
-// everything shaped by scheduling — batch composition, queue depth,
-// shedding — is Timing and stripped before determinism diffs.
+// healthy pool and no shedding depend only on (seed, keys, programs,
+// pool version); everything shaped by scheduling or overload — batch
+// composition, queue depth, shedding, quarantine fallout — is Timing
+// and stripped before determinism diffs.
 
 struct ServeCounters
 {
@@ -48,6 +67,26 @@ struct ServeCounters
     support::Counter &shedDeadline = support::metrics().counter(
         "serve.shed_deadline",
         "requests shed after exceeding the queueing deadline",
+        support::MetricDomain::Timing);
+    support::Counter &shedStopped = support::metrics().counter(
+        "serve.shed_stopped",
+        "requests shed because the service was stopped",
+        support::MetricDomain::Timing);
+    support::Counter &shedQuota = support::metrics().counter(
+        "serve.shed_quota",
+        "requests shed by tenant quota or fair-share admission",
+        support::MetricDomain::Timing);
+    support::Counter &shedCircuitOpen = support::metrics().counter(
+        "serve.shed_circuit_open",
+        "requests shed while the circuit breaker was open",
+        support::MetricDomain::Timing);
+    support::Counter &failOpen = support::metrics().counter(
+        "serve.fail_open",
+        "degraded fail-open answers while the pool was quarantined",
+        support::MetricDomain::Timing);
+    support::Counter &failClosed = support::metrics().counter(
+        "serve.fail_closed",
+        "fail-closed rejections while the pool was quarantined",
         support::MetricDomain::Timing);
     support::Counter &batches = support::metrics().counter(
         "serve.batches", "batches drained from the request queue",
@@ -70,12 +109,16 @@ serveCounters()
 
 } // namespace
 
-DetectionService::DetectionService(const core::Rhmd &pool,
+DetectionService::DetectionService(std::shared_ptr<const core::Rhmd> pool,
                                    ServeConfig config)
-    : pool_(pool), config_(config), switchRng_(config.seed),
-      failoverRng_(config.seed ^ 0xfa170f32c001d00dULL),
-      health_(pool.poolSize(), config.health),
-      queue_(config.queueCapacity == 0 ? 1 : config.queueCapacity)
+    : config_(std::move(config)), switchRng_(config_.seed),
+      failoverRng_(config_.seed ^ 0xfa170f32c001d00dULL),
+      pools_(std::move(pool), config_.health, config_.gate),
+      admission_(config_.admission,
+                 config_.queueCapacity == 0 ? 1 : config_.queueCapacity),
+      breaker_(config_.breaker), chaos_(config_.chaos),
+      queue_(config_.queueCapacity == 0 ? 1 : config_.queueCapacity),
+      started_(std::chrono::steady_clock::now())
 {
     fatal_if(config_.maxBatch == 0,
              "DetectionService maxBatch must be > 0");
@@ -89,14 +132,30 @@ DetectionService::DetectionService(const core::Rhmd &pool,
         workers_.emplace_back([this] { workerLoop(); });
 }
 
+DetectionService::DetectionService(const core::Rhmd &pool,
+                                   ServeConfig config)
+    : DetectionService(std::shared_ptr<const core::Rhmd>(
+                           &pool, [](const core::Rhmd *) {}),
+                       std::move(config))
+{
+}
+
 DetectionService::~DetectionService()
 {
     stop();
 }
 
+double
+DetectionService::nowSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - started_)
+        .count();
+}
+
 std::future<support::StatusOr<ServeReport>>
 DetectionService::submit(const features::ProgramFeatures &prog,
-                         std::uint64_t request_key)
+                         std::uint64_t request_key, std::uint64_t tenant)
 {
     ServeCounters &counters = serveCounters();
     counters.requests.add(1);
@@ -104,17 +163,58 @@ DetectionService::submit(const features::ProgramFeatures &prog,
     Request req;
     req.prog = &prog;
     req.key = request_key;
+    req.tenant = tenant;
     req.enqueued = std::chrono::steady_clock::now();
     std::future<support::StatusOr<ServeReport>> future =
         req.promise.get_future();
 
+    // Admission layers, cheapest first: a stopped service and an open
+    // breaker shed before any quota or queue work is spent.
+    if (stopped_.load(std::memory_order_acquire)) {
+        counters.shedStopped.add(1);
+        req.promise.set_value(support::unavailableError(
+            "detection service stopped; request shed"));
+        return future;
+    }
+    const double now_s = nowSeconds();
+    if (config_.breaker.enabled && !breaker_.allow(now_s)) {
+        counters.shedCircuitOpen.add(1);
+        req.promise.set_value(support::unavailableError(
+            "detection service circuit breaker ",
+            breakerStateName(breaker_.state()),
+            "; retry after the cool-down"));
+        return future;
+    }
+    if (config_.admission.enabled) {
+        support::Status admitted =
+            admission_.admit(tenant, now_s, queue_.size());
+        if (!admitted.isOk()) {
+            counters.shedQuota.add(1);
+            req.promise.set_value(std::move(admitted));
+            return future;
+        }
+        req.admitted = true;
+    }
+
     std::size_t depth = 0;
     if (!queue_.tryPush(std::move(req), &depth)) {
-        // Shed at admission: the caller learns immediately instead
-        // of queueing behind work the service cannot absorb. A
-        // failed tryPush never moves from its argument, so the
-        // promise is still ours to fulfill.
+        // A failed tryPush never moves from its argument, so the
+        // promise is still ours to fulfill — and the admission charge
+        // is ours to return.
+        if (req.admitted)
+            admission_.release(tenant);
+        if (queue_.closed()) {
+            // stop() raced ahead of the stopped_ check above: this is
+            // shutdown shedding, not overload, and dashboards must be
+            // able to tell them apart.
+            counters.shedStopped.add(1);
+            req.promise.set_value(support::unavailableError(
+                "detection service stopped; request shed"));
+            return future;
+        }
         counters.shedQueueFull.add(1);
+        if (config_.breaker.enabled)
+            breaker_.recordFailure(now_s);
         req.promise.set_value(support::unavailableError(
             "detection service overloaded (queue of ",
             queue_.capacity(), " full); retry later"));
@@ -124,14 +224,28 @@ DetectionService::submit(const features::ProgramFeatures &prog,
     return future;
 }
 
+support::StatusOr<std::uint64_t>
+DetectionService::swapPool(std::shared_ptr<const core::Rhmd> candidate)
+{
+    return pools_.swapPool(std::move(candidate));
+}
+
+runtime::HealthMonitor
+DetectionService::healthSnapshot() const
+{
+    const std::shared_ptr<PoolState> state = pools_.current();
+    const std::lock_guard<std::mutex> lock(state->healthMutex);
+    return state->health;
+}
+
 void
 DetectionService::stop()
 {
     {
         const std::lock_guard<std::mutex> lock(stopMutex_);
-        if (stopped_)
+        if (stopped_.load(std::memory_order_relaxed))
             return;
-        stopped_ = true;
+        stopped_.store(true, std::memory_order_release);
     }
     queue_.close();
     for (std::thread &worker : workers_)
@@ -143,14 +257,27 @@ void
 DetectionService::workerLoop()
 {
     std::vector<Request> batch;
-    while (queue_.popBatch(batch, config_.maxBatch) > 0)
+    while (queue_.popBatch(batch, config_.maxBatch) > 0) {
+        chaos_.maybeStallWorker();
         processBatch(batch);
+    }
 }
 
 void
 DetectionService::processBatch(std::vector<Request> &batch)
 {
     ServeCounters &counters = serveCounters();
+    const double now_s = nowSeconds();
+
+    // Every admitted request has left the queue: return its admission
+    // charge before anything else so fair-share accounting tracks
+    // real queue occupancy.
+    if (config_.admission.enabled) {
+        for (const Request &req : batch) {
+            if (req.admitted)
+                admission_.release(req.tenant);
+        }
+    }
 
     // Deadline shedding: requests that already waited longer than the
     // budget get Unavailable before any scoring work is spent.
@@ -164,6 +291,8 @@ DetectionService::processBatch(std::vector<Request> &batch)
                     .count();
             if (waited > config_.deadlineSeconds) {
                 counters.shedDeadline.add(1);
+                if (config_.breaker.enabled)
+                    breaker_.recordFailure(now_s);
                 req.promise.set_value(support::unavailableError(
                     "request shed after queueing ", waited,
                     "s (deadline ", config_.deadlineSeconds, "s)"));
@@ -178,19 +307,45 @@ DetectionService::processBatch(std::vector<Request> &batch)
     counters.batches.add(1);
     counters.batchSize.observe(static_cast<double>(live.size()));
 
+    // Pool snapshot: the RCU epoch of this batch. Everything below
+    // reads this version — a swapPool() landing mid-batch is invisible
+    // here and the old version reclaims when the last holder drops it.
+    const std::shared_ptr<PoolState> state = pools_.current();
+    const core::Rhmd &pool = *state->pool;
+    chaos_.batchPlanned(state->version);
+    chaos_.maybeDelayBatch();
+
     // One health epoch per drained batch; snapshot the effective
     // policy once so every request in the batch plans against the
     // same pool view.
     support::StatusOr<std::vector<double>> effective =
         support::unavailableError("unset");
     {
-        const std::lock_guard<std::mutex> lock(healthMutex_);
-        health_.tick();
-        effective = health_.effectivePolicy(pool_.policy());
+        const std::lock_guard<std::mutex> lock(state->healthMutex);
+        state->health.tick();
+        effective = state->health.effectivePolicy(pool.policy());
     }
     if (!effective.isOk()) {
-        for (Request *req : live)
+        // The whole snapshot is quarantined: the configured
+        // fail-open/fail-closed decision, not an accident of which
+        // worker got here first.
+        for (Request *req : live) {
+            if (config_.failOpen) {
+                counters.failOpen.add(1);
+                ServeReport report;
+                report.poolVersion = state->version;
+                report.degraded = true;
+                report.epochs =
+                    req->prog->windows(pool.decisionPeriod()).size();
+                report.programDecision = 0;
+                req->promise.set_value(std::move(report));
+                continue;
+            }
+            counters.failClosed.add(1);
+            if (config_.breaker.enabled)
+                breaker_.recordFailure(now_s);
             req->promise.set_value(effective.status());
+        }
         return;
     }
     const std::vector<double> &policy = *effective;
@@ -204,8 +359,8 @@ DetectionService::processBatch(std::vector<Request> &batch)
         std::size_t req;    ///< index into live
         std::size_t epoch;
     };
-    const std::size_t n_det = pool_.poolSize();
-    const std::uint32_t epoch_len = pool_.decisionPeriod();
+    const std::size_t n_det = pool.poolSize();
+    const std::uint32_t epoch_len = pool.decisionPeriod();
     std::vector<std::vector<Slot>> slots(n_det);
     std::vector<std::vector<const features::RawWindow *>> rows(n_det);
     // Per live request: per-epoch decision, -1 while unclassified.
@@ -220,7 +375,7 @@ DetectionService::processBatch(std::vector<Request> &batch)
         for (std::size_t e = 0; e < n_epochs; ++e) {
             const std::size_t pick = rng.weightedIndex(policy);
             const std::uint32_t period =
-                pool_.detectors()[pick]->decisionPeriod();
+                pool.detectors()[pick]->decisionPeriod();
             const std::size_t index = e * (epoch_len / period);
             const auto &windows = prog.windows(period);
             panic_if(index >= windows.size(),
@@ -231,8 +386,9 @@ DetectionService::processBatch(std::vector<Request> &batch)
     }
 
     // Phase 2 — score: one batch pass per selected detector. Invalid
-    // scores are reported to the health monitor and their slots fall
-    // through to the serial failover pass below.
+    // scores — organic or chaos-injected — are reported to the health
+    // monitor and their slots fall through to the serial failover
+    // pass below.
     struct Failed
     {
         std::size_t req;
@@ -242,12 +398,13 @@ DetectionService::processBatch(std::vector<Request> &batch)
     for (std::size_t d = 0; d < n_det; ++d) {
         if (rows[d].empty())
             continue;
-        const core::Hmd &det = *pool_.detectors()[d];
+        const core::Hmd &det = *pool.detectors()[d];
         const std::vector<double> scores = det.scoreWindows(rows[d]);
         std::size_t valid = 0;
         for (std::size_t i = 0; i < scores.size(); ++i) {
             const Slot &slot = slots[d][i];
-            if (!validScore(scores[i])) {
+            if (chaos_.scoreFault(live[slot.req]->key, slot.epoch, d) ||
+                !validScore(scores[i])) {
                 ++failures[slot.req];
                 counters.detectorFailures.add(1);
                 failed.push_back({slot.req, slot.epoch});
@@ -257,53 +414,57 @@ DetectionService::processBatch(std::vector<Request> &batch)
             decided[slot.req][slot.epoch] =
                 scores[i] >= det.threshold() ? 1 : 0;
         }
-        const std::lock_guard<std::mutex> lock(healthMutex_);
+        const std::lock_guard<std::mutex> lock(state->healthMutex);
         for (std::size_t i = 0; i < valid; ++i)
-            health_.recordSuccess(d);
+            state->health.recordSuccess(d);
         for (std::size_t i = valid; i < scores.size(); ++i)
-            health_.recordFailure(
+            state->health.recordFailure(
                 d, rhmd::detail::concat("invalid score at epoch ",
-                                        health_.epoch()));
+                                        state->health.epoch()));
     }
 
     // Phase 3 — failover: redraw each failed slot from its own
     // (key, epoch)-derived stream (order-independent) against the
     // current effective policy, up to the same attempt budget the
-    // runtime uses. A slot that exhausts the budget stays
-    // unclassified.
+    // runtime uses (hard-capped; see failoverBudget). A slot that
+    // exhausts the budget stays unclassified.
     const std::size_t max_attempts =
-        n_det * config_.health.failureThreshold;
+        failoverBudget(n_det, config_.health.failureThreshold);
     for (const Failed &f : failed) {
         const features::ProgramFeatures &prog = *live[f.req]->prog;
-        Rng rng = SplitRng(failoverRng_.seedAt(live[f.req]->key))
-                      .at(f.epoch);
+        const std::uint64_t key = live[f.req]->key;
+        Rng rng = SplitRng(failoverRng_.seedAt(key)).at(f.epoch);
         for (std::size_t attempt = 0; attempt < max_attempts;
              ++attempt) {
             support::StatusOr<std::vector<double>> pol =
                 support::unavailableError("unset");
             {
-                const std::lock_guard<std::mutex> lock(healthMutex_);
-                pol = health_.effectivePolicy(pool_.policy());
+                const std::lock_guard<std::mutex> lock(
+                    state->healthMutex);
+                pol = state->health.effectivePolicy(pool.policy());
             }
             if (!pol.isOk())
                 break;
             const std::size_t pick = rng.weightedIndex(*pol);
-            const core::Hmd &det = *pool_.detectors()[pick];
+            const core::Hmd &det = *pool.detectors()[pick];
             const std::size_t index =
                 f.epoch * (epoch_len / det.decisionPeriod());
             const double score = det.windowScore(
                 prog.windows(det.decisionPeriod())[index]);
-            const std::lock_guard<std::mutex> lock(healthMutex_);
-            if (!validScore(score)) {
+            const bool faulted =
+                chaos_.scoreFault(key, f.epoch, pick) ||
+                !validScore(score);
+            const std::lock_guard<std::mutex> lock(state->healthMutex);
+            if (faulted) {
                 ++failures[f.req];
                 counters.detectorFailures.add(1);
-                health_.recordFailure(
+                state->health.recordFailure(
                     pick,
                     rhmd::detail::concat("invalid failover score ",
                                          score));
                 continue;
             }
-            health_.recordSuccess(pick);
+            state->health.recordSuccess(pick);
             decided[f.req][f.epoch] =
                 score >= det.threshold() ? 1 : 0;
             break;
@@ -311,17 +472,21 @@ DetectionService::processBatch(std::vector<Request> &batch)
     }
 
     // Phase 4 — fulfill: compact each request's classified epochs
-    // into its report, majority-vote the program decision.
+    // into its report, majority-vote the program decision, stamp the
+    // pool version the batch was planned against.
     for (std::size_t r = 0; r < live.size(); ++r) {
         ServeReport report;
         report.epochs = decided[r].size();
         report.detectorFailures = failures[r];
+        report.poolVersion = state->version;
         for (int d : decided[r]) {
             if (d >= 0)
                 report.decisions.push_back(d);
         }
         report.classified = report.decisions.size();
         if (report.decisions.empty()) {
+            if (config_.breaker.enabled)
+                breaker_.recordFailure(now_s);
             live[r]->promise.set_value(support::unavailableError(
                 "no epoch of '", live[r]->prog->name,
                 "' could be classified (", report.epochs, " epochs, ",
@@ -336,6 +501,8 @@ DetectionService::processBatch(std::vector<Request> &batch)
         counters.responses.add(1);
         if (report.programDecision == 1)
             counters.malwareFlagged.add(1);
+        if (config_.breaker.enabled)
+            breaker_.recordSuccess(now_s);
         live[r]->promise.set_value(std::move(report));
     }
 }

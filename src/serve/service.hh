@@ -1,7 +1,7 @@
 /**
  * @file
  * Batched detection service: the request-at-a-time serving front end
- * over a resilient detector pool.
+ * over a resilient, hot-swappable detector pool.
  *
  * Rhmd::decideBatch() assumes one caller handing it a prepared list
  * of programs; a deployment instead sees concurrent callers each
@@ -13,24 +13,41 @@
  * scores feed the HealthMonitor exactly as in DetectionRuntime, with
  * failover redraws and quarantine-aware policy renormalization.
  *
- * Load shedding is explicit: a full queue rejects the request at
- * submit() (Unavailable, serve.shed_queue_full), and a configured
- * deadline sheds requests that waited too long in the queue before
- * any scoring work is spent on them (serve.shed_deadline).
+ * The pool is no longer a borrowed reference pinned for the service's
+ * lifetime: a serve::PoolManager publishes versioned snapshots, each
+ * worker batch plans against the snapshot current at drain time, and
+ * swapPool() promotes a retrained candidate under live traffic —
+ * in-flight batches finish on the version they started with (the
+ * snapshot shared_ptr is the RCU epoch), the version is stamped into
+ * every ServeReport, and promotion is gated on the pool invariants
+ * plus the PAC reverse-engineering floor (DESIGN.md §12).
  *
- * Determinism (DESIGN.md §11): per-request switching randomness is
- * derived from (service seed, caller-supplied request key) with
- * SplitRng, never from a shared sequential stream, so a request's
- * decisions are independent of arrival order, batch composition, and
- * worker count. With a healthy pool the service's answer for
- * (program, key) is bit-identical to a serial replay — this is the
- * "request-keyed" determinism domain, distinct from the
- * "pool-sequential" domain of Rhmd::decide/decideBatch.
+ * Load shedding is layered, every layer explicit and separately
+ * counted: a stopped service sheds at submit (serve.shed_stopped), an
+ * open circuit breaker sheds before any queueing work
+ * (serve.shed_circuit_open), per-tenant token buckets and fair-share
+ * admission shed abusive tenants (serve.shed_quota), a full queue
+ * sheds with backpressure (serve.shed_queue_full), and a configured
+ * deadline sheds requests that waited too long before scoring work is
+ * spent on them (serve.shed_deadline). When the entire pool is
+ * quarantined the service takes the configured fail-open (degraded
+ * benign pass-through) or fail-closed (Unavailable) decision.
+ *
+ * Determinism (DESIGN.md §11/§12): per-request switching randomness
+ * is derived from (service seed, caller-supplied request key) with
+ * SplitRng, never from a shared sequential stream, so for a fixed
+ * pool version a request's decisions are independent of arrival
+ * order, batch composition, worker count, and swap timing. The
+ * determinism domain is (request key, pool version): with a healthy
+ * snapshot the answer is bit-identical to a serial replay against
+ * that version — and stays so under chaos, because service-level
+ * score faults are keyed off the same coordinates (serve/chaos.hh).
  */
 
 #ifndef RHMD_SERVE_SERVICE_HH
 #define RHMD_SERVE_SERVICE_HH
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
@@ -41,6 +58,9 @@
 
 #include "core/rhmd.hh"
 #include "runtime/health.hh"
+#include "serve/admission.hh"
+#include "serve/chaos.hh"
+#include "serve/pool_manager.hh"
 #include "support/bounded_queue.hh"
 #include "support/rng.hh"
 #include "support/status.hh"
@@ -67,8 +87,29 @@ struct ServeConfig
      */
     double deadlineSeconds = 0.0;
 
-    /** Degradation policy for failing detectors. */
+    /** Degradation policy for failing detectors (per pool version). */
     runtime::HealthConfig health{};
+
+    /** Per-tenant quotas and fair-share admission (off by default). */
+    AdmissionConfig admission{};
+
+    /** Service-level circuit breaker (off by default). */
+    BreakerConfig breaker{};
+
+    /** Seeded service-level fault injection (off by default). */
+    ChaosConfig chaos{};
+
+    /**
+     * What to do when every detector of the current snapshot is
+     * quarantined: false (fail closed) answers Unavailable — no
+     * classification is better than a fabricated one; true (fail
+     * open) answers a degraded benign pass-through report so the
+     * protected workload keeps running while the pool recovers.
+     */
+    bool failOpen = false;
+
+    /** PAC promotion gate for swapPool (off when corpus is null). */
+    PromotionGate gate{};
 
     /** Root of the per-request switching streams. */
     std::uint64_t seed = 0x5e12f1ce;
@@ -92,27 +133,48 @@ struct ServeReport
 
     /** Majority program-level decision (ties count as malware). */
     int programDecision = 0;
+
+    /** Pool version this request was scored against. */
+    std::uint64_t poolVersion = 0;
+
+    /**
+     * True when the report is a fail-open pass-through (the whole
+     * pool was quarantined); decisions is empty and programDecision
+     * is benign by policy, not by classification.
+     */
+    bool degraded = false;
 };
 
 /**
  * Accepts program-feature scoring requests from any number of
- * producer threads and answers them through a detector pool.
+ * producer threads and answers them through a versioned detector
+ * pool.
  *
  * Submitted programs must outlive their futures and carry windows
- * for every base period of the pool. Health state accumulates across
- * requests (always-on semantics); epochs advance per drained batch.
+ * for every base period of the pool (all versions they may be scored
+ * against). Health state accumulates per pool version; epochs advance
+ * per drained batch.
  */
 class DetectionService
 {
   public:
     /**
-     * @param pool   the deployed pool; must outlive the service. The
-     *               pool's policy steers per-request switching; its
-     *               own sequential RNG is never consumed, so serving
-     *               does not perturb replays through Rhmd::decide.
-     * @param config queueing, batching, and degradation knobs.
+     * @param pool   the version-1 pool. The pool's policy steers
+     *               per-request switching; its own sequential RNG is
+     *               never consumed, so serving does not perturb
+     *               replays through Rhmd::decide.
+     * @param config queueing, batching, admission, chaos, and
+     *               degradation knobs.
      *
      * Workers start immediately.
+     */
+    DetectionService(std::shared_ptr<const core::Rhmd> pool,
+                     ServeConfig config);
+
+    /**
+     * Convenience: serve a borrowed pool that outlives the service
+     * (no ownership taken). Such a service can still swapPool(); the
+     * borrowed pool simply stops being served.
      */
     DetectionService(const core::Rhmd &pool, ServeConfig config);
 
@@ -125,64 +187,109 @@ class DetectionService
     /**
      * Submit one program for classification. Returns a future that
      * resolves to the request's report, or to Unavailable when the
-     * request was shed (queue full / deadline exceeded) or the whole
-     * pool is quarantined.
+     * request was shed (stopped / breaker open / quota / queue full /
+     * deadline) or the whole pool is quarantined under fail-closed.
      *
      * @param prog        feature windows; must stay alive until the
      *                    future resolves.
      * @param request_key caller-chosen identity of this request; the
      *                    switching stream is derived from it, so
      *                    resubmitting a key replays the same
-     *                    decisions (and distinct concurrent requests
-     *                    should use distinct keys).
+     *                    decisions against the same pool version (and
+     *                    distinct concurrent requests should use
+     *                    distinct keys).
+     * @param tenant      quota bucket this request draws from (only
+     *                    meaningful with admission control enabled).
      */
     std::future<support::StatusOr<ServeReport>>
     submit(const features::ProgramFeatures &prog,
-           std::uint64_t request_key);
+           std::uint64_t request_key, std::uint64_t tenant = 0);
+
+    /**
+     * Promote @p candidate to the next pool version under live
+     * traffic (no drain, no pause): new batches plan against it as
+     * soon as it is published, in-flight batches finish on the
+     * version they started with. Returns the new version, or the
+     * gate's rejection (invalid candidate / PAC floor regression) —
+     * on rejection the current version keeps serving untouched.
+     */
+    support::StatusOr<std::uint64_t>
+    swapPool(std::shared_ptr<const core::Rhmd> candidate);
 
     /**
      * Close the queue, serve the already-admitted backlog, and join
-     * the workers. Idempotent; submit() after stop() sheds.
+     * the workers. Idempotent; submit() after stop() sheds under
+     * serve.shed_stopped.
      */
     void stop();
 
-    /** Epoch length: the longest base period in the pool. */
-    std::uint32_t epochLength() const { return pool_.decisionPeriod(); }
+    /** Epoch length of the current pool version. */
+    std::uint32_t epochLength() const
+    {
+        return pools_.current()->pool->decisionPeriod();
+    }
 
-    std::size_t poolSize() const { return pool_.poolSize(); }
+    /** Pool size of the current pool version. */
+    std::size_t poolSize() const
+    {
+        return pools_.current()->pool->poolSize();
+    }
+
+    /** Version currently published for new batches. */
+    std::uint64_t poolVersion() const { return pools_.version(); }
 
     /**
-     * Health monitor, for post-hoc inspection. Only quiescent reads
-     * (after stop(), or from tests that control submission) are
-     * meaningful — workers mutate it concurrently while running.
+     * Consistent copy of the current version's health state, taken
+     * under the health mutex — safe to call while workers run (live
+     * dashboards). This is the accessor to use outside tests.
      */
-    const runtime::HealthMonitor &health() const { return health_; }
+    runtime::HealthMonitor healthSnapshot() const;
+
+    /**
+     * Current version's live health monitor, for post-hoc
+     * inspection. Only quiescent reads (after stop(), with no
+     * concurrent swapPool) are meaningful — workers mutate it
+     * concurrently while running; use healthSnapshot() for that.
+     */
+    const runtime::HealthMonitor &health() const
+    {
+        return pools_.current()->health;
+    }
+
+    CircuitBreaker::State breakerState() const
+    {
+        return breaker_.state();
+    }
 
   private:
     struct Request
     {
         const features::ProgramFeatures *prog = nullptr;
         std::uint64_t key = 0;
+        std::uint64_t tenant = 0;
+        bool admitted = false; ///< charged to admission control
         std::chrono::steady_clock::time_point enqueued;
         std::promise<support::StatusOr<ServeReport>> promise;
     };
 
     void workerLoop();
     void processBatch(std::vector<Request> &batch);
+    double nowSeconds() const;
 
-    const core::Rhmd &pool_;
     ServeConfig config_;
     SplitRng switchRng_;
     SplitRng failoverRng_;
 
-    /** Guards health_ (workers report outcomes concurrently). */
-    std::mutex healthMutex_;
-    runtime::HealthMonitor health_;
+    PoolManager pools_;
+    AdmissionController admission_;
+    CircuitBreaker breaker_;
+    ChaosInjector chaos_;
 
     support::BoundedQueue<Request> queue_;
     std::vector<std::thread> workers_;
+    std::chrono::steady_clock::time_point started_;
     std::mutex stopMutex_;
-    bool stopped_ = false;
+    std::atomic<bool> stopped_{false};
 };
 
 } // namespace rhmd::serve
