@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Certified stability margins of the paper's detector families and
+ * their aggregation through the randomized pool. Not a figure from
+ * the paper — the abstract-interpretation certifier (analysis/
+ * certify, grounded in "Certifiably robust malware detectors by
+ * design", PAPERS.md) quantifies what the evade-retrain evaluation
+ * only measures empirically: how far, in standardized feature space,
+ * an attacker must move a window before any decision can flip.
+ *
+ * Two tables: per-family certified radii of single detectors on the
+ * plain test corpus, and the pool-level certified bound for a
+ * five-family RHMD on plain vs evasion-rewritten corpora. All values
+ * come from fixed-iteration static analysis, so both tables are
+ * byte-identical at any thread count.
+ */
+
+#include "bench_common.hh"
+
+#include "analysis/certify/pool_cert.hh"
+
+using namespace rhmd;
+using namespace rhmd::bench;
+
+namespace
+{
+
+std::string
+fmt(double value)
+{
+    if (value == analysis::certify::kUnboundedRadius)
+        return "inf";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4f", value);
+    return buf;
+}
+
+/** Certify a pool and add one summary row to @p table. */
+void
+addPoolRow(Table &table, const std::string &label,
+           const core::Rhmd &pool,
+           const features::FeatureCorpus &corpus,
+           const std::vector<std::size_t> &test_idx)
+{
+    auto cert = analysis::certify::certifyPool(pool, corpus, test_idx);
+    if (!cert.isOk()) {
+        table.addRow({label, "-", "-", "-", "-",
+                      cert.status().toString()});
+        return;
+    }
+    table.addRow({label, std::to_string(cert->epochs),
+                  fmt(cert->certifiedBound), fmt(cert->stableMass),
+                  fmt(cert->minRadius), cert->report.summary()});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::init(argc, argv);
+    banner("Certified decision-stability margins",
+           "the certifier behind the promotion gate (DESIGN.md "
+           "Sec. 13)");
+
+    const core::Experiment exp =
+        core::Experiment::build(standardConfig());
+    const std::vector<std::size_t> &test_idx =
+        exp.split().attackerTest;
+
+    std::printf("single-detector certified radii (plain corpus):\n");
+    Table singles({"detector", "windows", "zero", "min", "mean",
+                   "median", "stable@0.25"});
+    for (const char *algorithm : {"LR", "NN", "DT", "SVM", "RF"}) {
+        auto det = exp.trainVictim(
+            algorithm, features::FeatureKind::Instructions, 10000);
+        std::vector<std::unique_ptr<core::Hmd>> detectors;
+        detectors.push_back(std::move(det));
+        auto single = core::tryMakeRhmd(std::move(detectors), {1.0},
+                                        31).value();
+        auto cert = analysis::certify::certifyPool(*single,
+                                                   exp.corpus(),
+                                                   test_idx)
+                        .value();
+        const analysis::certify::DetectorCertificate &stats =
+            cert.detectors.front();
+        singles.addRow({stats.label, std::to_string(stats.windows),
+                        std::to_string(stats.zeroMarginWindows),
+                        fmt(stats.minRadius), fmt(stats.meanRadius),
+                        fmt(stats.medianRadius),
+                        fmt(stats.stableFraction)});
+    }
+    emitTable(singles);
+
+    // The five-family pool, certified against the plain corpus and
+    // against each evasion rewrite of the malware test programs.
+    constexpr features::FeatureKind kKinds[] = {
+        features::FeatureKind::Instructions,
+        features::FeatureKind::Memory,
+        features::FeatureKind::Architectural,
+    };
+    constexpr std::uint32_t kPeriods[] = {10000, 5000};
+    const char *const kAlgorithms[] = {"LR", "NN", "DT", "SVM", "RF"};
+    std::vector<std::unique_ptr<core::Hmd>> detectors;
+    for (std::size_t i = 0; i < 5; ++i) {
+        detectors.push_back(exp.trainVictim(
+            kAlgorithms[i], kKinds[i % 3], kPeriods[i % 2], 41 + i));
+    }
+    auto pool = core::tryMakeRhmd(std::move(detectors),
+                                  std::vector<double>(5, 0.2), 53)
+                    .value();
+
+    std::printf("\npool-level certified bound, plain vs evasive "
+                "corpora:\n");
+    Table pools({"corpus", "epochs", "bound", "stable mass",
+                 "min radius", "findings"});
+    addPoolRow(pools, "plain", *pool, exp.corpus(), test_idx);
+
+    const auto victim = exp.trainVictim(
+        "LR", features::FeatureKind::Instructions, 10000);
+    const std::vector<std::size_t> evaders = exp.malwareOf(test_idx);
+    for (const auto strategy :
+         {core::EvasionStrategy::Random,
+          core::EvasionStrategy::LeastWeight,
+          core::EvasionStrategy::Weighted}) {
+        core::EvasionPlan plan;
+        plan.strategy = strategy;
+        plan.seed = exp.config().seed ^ 0xe5a510ULL;
+        features::FeatureCorpus corpus = exp.corpus();
+        const std::vector<features::ProgramFeatures> rewritten =
+            exp.extractEvasive(evaders, plan, victim.get());
+        for (std::size_t i = 0; i < evaders.size(); ++i)
+            corpus.programs[evaders[i]] = rewritten[i];
+        addPoolRow(pools, core::evasionStrategyName(strategy), *pool,
+                   corpus, test_idx);
+    }
+    emitTable(pools);
+
+    std::printf("\nShape to expect: a single tree certifies the "
+                "widest mean margin\n(piecewise-constant score, few "
+                "thresholds near a window), the forest\nthe "
+                "narrowest (many trees put a threshold near every "
+                "window); the\nmodel-guided evasion rewrites shift "
+                "windows toward the boundary and\nshrink the "
+                "pool-level certified bound.\n");
+    return bench::finish();
+}

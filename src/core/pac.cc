@@ -97,6 +97,13 @@ checkPacFloor(const Rhmd &candidate, const Rhmd &current,
               const std::vector<std::size_t> &test_idx, double tolerance)
 {
     fatal_if(tolerance < 0.0, "PAC floor tolerance must be >= 0");
+    // An empty gate corpus is a data-plane condition (mis-built split,
+    // drained corpus), not a caller bug: surface it as a rejection the
+    // promotion path can report instead of killing the server.
+    if (test_idx.empty()) {
+        return support::invalidArgumentError(
+            "PAC floor check needs test programs");
+    }
     const PacReport cand = computePac(candidate, corpus, test_idx);
     const PacReport cur = computePac(current, corpus, test_idx);
     if (cand.lowerBound + tolerance < cur.lowerBound) {

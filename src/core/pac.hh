@@ -56,7 +56,11 @@ PacReport computePac(const Rhmd &pool,
  * bound falls more than @p tolerance below the current pool's — i.e.
  * a pool that would be provably *easier* to reverse-engineer must not
  * replace the one being served. Returns Ok with the bounds in the
- * message data path otherwise.
+ * message data path otherwise. An empty @p test_idx is InvalidArgument
+ * (a rejection, not a crash — unlike computePac, the floor check sits
+ * on the serving promotion path). A candidate that exactly meets the
+ * floor (equality at the tolerance boundary) passes: the comparison
+ * is strict.
  */
 support::Status checkPacFloor(const Rhmd &candidate, const Rhmd &current,
                               const features::FeatureCorpus &corpus,

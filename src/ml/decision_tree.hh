@@ -27,6 +27,21 @@ struct TreeConfig
 class DecisionTree : public Classifier
 {
   public:
+    /**
+     * One tree node. Exposed read-only so static analyses (the
+     * certify pass's threshold-distance traversal) can walk the
+     * grown tree without re-deriving it from probe queries.
+     */
+    struct Node
+    {
+        bool leaf = true;
+        double value = 0.5;       ///< leaf positive fraction
+        std::size_t feature = 0;
+        double threshold = 0.0;   ///< go left when x[f] <= threshold
+        std::int32_t left = -1;
+        std::int32_t right = -1;
+    };
+
     explicit DecisionTree(TreeConfig config = {});
 
     void train(const Dataset &data, Rng &rng) override;
@@ -45,17 +60,10 @@ class DecisionTree : public Classifier
     /** Depth of the grown tree. */
     std::size_t depth() const;
 
-  private:
-    struct Node
-    {
-        bool leaf = true;
-        double value = 0.5;       ///< leaf positive fraction
-        std::size_t feature = 0;
-        double threshold = 0.0;   ///< go left when x[f] <= threshold
-        std::int32_t left = -1;
-        std::int32_t right = -1;
-    };
+    /** The grown node array (root at index 0; empty before train). */
+    const std::vector<Node> &nodes() const { return nodes_; }
 
+  private:
     std::int32_t build(const Dataset &data,
                        std::vector<std::size_t> &indices,
                        std::size_t depth);

@@ -48,6 +48,19 @@ class RandomForest : public Classifier
     /** Number of trained trees. */
     std::size_t treeCount() const { return trees_.size(); }
 
+    /** The trained trees (for static analyses over the forest). */
+    const std::vector<DecisionTree> &trees() const { return trees_; }
+
+    /**
+     * Feature indices tree @p t was trained on: tree t's input j is
+     * the full feature vector's featureSelections()[t][j].
+     */
+    const std::vector<std::vector<std::size_t>> &
+    featureSelections() const
+    {
+        return featureSel_;
+    }
+
   private:
     ForestConfig config_;
     std::vector<DecisionTree> trees_;

@@ -44,6 +44,9 @@ class LinearSvm : public Classifier
     const std::vector<double> &weights() const { return weights_; }
     double bias() const { return bias_; }
 
+    /** Sigmoid sharpness applied to the margin in score(). */
+    double scoreSharpness() const { return config_.scoreSharpness; }
+
     /** Directly install parameters (testing / serialization). */
     void setParams(std::vector<double> weights, double bias);
 

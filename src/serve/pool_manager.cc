@@ -5,6 +5,7 @@
 
 #include "serve/pool_manager.hh"
 
+#include "analysis/certify/pool_cert.hh"
 #include "core/pac.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
@@ -30,6 +31,10 @@ struct SwapCounters
         "serve.swap_rejected",
         "pool promotions rejected at the gate (invalid candidate or "
         "PAC floor regression)");
+    support::Counter &rejectedCertify = support::metrics().counter(
+        "serve.swap_rejected_certify",
+        "pool promotions rejected by the certified evasion-bound "
+        "floor (audit failure or bound regression)");
 };
 
 SwapCounters &
@@ -53,6 +58,8 @@ PoolManager::PoolManager(std::shared_ptr<const core::Rhmd> initial,
              "PromotionGate with a corpus needs test programs");
     fatal_if(gate_.floorTolerance < 0.0,
              "PromotionGate floor tolerance must be >= 0");
+    fatal_if(gate_.certifiedTolerance < 0.0,
+             "PromotionGate certified tolerance must be >= 0");
     current_ = std::make_shared<PoolState>(std::move(initial), 1,
                                            healthConfig_);
 }
@@ -100,6 +107,17 @@ PoolManager::swapPool(std::shared_ptr<const core::Rhmd> candidate)
         if (!floor.isOk()) {
             counters.rejected.add(1);
             return floor;
+        }
+        if (gate_.certify) {
+            const support::Status certified =
+                analysis::certify::checkCertifiedFloor(
+                    *candidate, *predecessor->pool, *gate_.corpus,
+                    gate_.testIdx, gate_.certifiedTolerance);
+            if (!certified.isOk()) {
+                counters.rejected.add(1);
+                counters.rejectedCertify.add(1);
+                return certified;
+            }
         }
     }
 

@@ -59,6 +59,21 @@ struct PromotionGate
      * current lower bound by at most this before it is rejected.
      */
     double floorTolerance = 0.0;
+
+    /**
+     * When true (and the gate is on), promotion additionally runs the
+     * abstract-interpretation certifier
+     * (analysis::certify::checkCertifiedFloor): a candidate whose
+     * certified evasion bound regresses by more than
+     * certifiedTolerance — or whose parameters fail the static audit —
+     * is rejected. Composes with the PAC floor: Theorem 1 bounds what
+     * an attacker can *learn*, the certified bound what a bounded
+     * perturbation can *flip*.
+     */
+    bool certify = false;
+
+    /** Slack on the certified-bound comparison (standardized units). */
+    double certifiedTolerance = 0.0;
 };
 
 /**

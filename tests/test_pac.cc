@@ -157,4 +157,69 @@ TEST(Pac, RequiresTestPrograms)
                 ::testing::ExitedWithCode(1), "test programs");
 }
 
+TEST(PacFloor, EmptyGateCorpusIsInvalidArgument)
+{
+    // Unlike computePac (a caller bug), an empty gate corpus on the
+    // promotion path is a data-plane rejection, not a crash.
+    const Experiment &exp = sharedExperiment();
+    const auto rhmd = pool();
+    const support::Status status =
+        checkPacFloor(*rhmd, *rhmd, exp.corpus(), {});
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), support::StatusCode::InvalidArgument);
+}
+
+TEST(PacFloor, SingleDetectorPoolOnBothSides)
+{
+    const Experiment &exp = sharedExperiment();
+    features::FeatureSpec spec;
+    spec.kind = features::FeatureKind::Instructions;
+    spec.period = 10000;
+    const auto single = buildRhmd("LR", {spec}, exp.corpus(),
+                                  exp.split().victimTrain, 16, 10);
+    const auto diverse = pool();
+
+    // Single vs single: both lower bounds are 0, equality passes.
+    EXPECT_TRUE(checkPacFloor(*single, *single, exp.corpus(),
+                              exp.split().attackerTest)
+                    .isOk());
+    // Replacing a diverse pool with a single detector collapses the
+    // provable floor to 0 — rejected.
+    const support::Status collapse = checkPacFloor(
+        *single, *diverse, exp.corpus(), exp.split().attackerTest);
+    ASSERT_FALSE(collapse.isOk());
+    EXPECT_EQ(collapse.code(), support::StatusCode::FailedPrecondition);
+    // The other direction strictly improves the floor.
+    EXPECT_TRUE(checkPacFloor(*diverse, *single, exp.corpus(),
+                              exp.split().attackerTest)
+                    .isOk());
+}
+
+TEST(PacFloor, ToleranceBoundaryEqualityPasses)
+{
+    // The comparison is strict: a candidate that undercuts the floor
+    // by *exactly* the tolerance is admitted.
+    const Experiment &exp = sharedExperiment();
+    features::FeatureSpec spec;
+    spec.kind = features::FeatureKind::Instructions;
+    spec.period = 10000;
+    const auto single = buildRhmd("LR", {spec}, exp.corpus(),
+                                  exp.split().victimTrain, 16, 10);
+    const auto diverse = pool();
+    const PacReport cur =
+        computePac(*diverse, exp.corpus(), exp.split().attackerTest);
+    ASSERT_GT(cur.lowerBound, 0.0);
+
+    // Candidate bound is 0 (single detector), so the gap equals the
+    // current bound exactly.
+    EXPECT_TRUE(checkPacFloor(*single, *diverse, exp.corpus(),
+                              exp.split().attackerTest, cur.lowerBound)
+                    .isOk());
+    // One ulp-scale step below the gap still rejects.
+    EXPECT_FALSE(checkPacFloor(*single, *diverse, exp.corpus(),
+                               exp.split().attackerTest,
+                               cur.lowerBound * (1.0 - 1e-12))
+                     .isOk());
+}
+
 } // namespace
