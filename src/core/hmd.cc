@@ -147,7 +147,11 @@ void
 Hmd::fillFeatureRow(const features::RawWindow &window, double *row) const
 {
     features::fillCombined(config_.specs, window, row);
-    standardizer_.applyInPlace(row);
+    // Passing the row width keeps a standardizer fitted at a
+    // different dimensionality from silently scaling past the end of
+    // the row (it panics instead) — a truncated tail window still
+    // fills featureDim() rate features, just from fewer instructions.
+    standardizer_.applyInPlace(row, featureDim());
 }
 
 features::FeatureMatrix
@@ -159,6 +163,9 @@ Hmd::featureMatrix(
         panic_if(windows[r] == nullptr, "null window in batch");
         fillFeatureRow(*windows[r], matrix.row(r));
     }
+    // Hand scoreBatch the SoA view up front so the vector kernels
+    // never fall back; padding rows stay zero and are never scored.
+    matrix.buildSoa();
     return matrix;
 }
 

@@ -67,14 +67,7 @@ FeatureSession::closeWindow(PeriodAccum &accum, bool truncated)
     // read() routes through the counter fault hook (if any), so
     // sensor-path noise lands in the extracted windows.
     const uarch::EventCounts cumulative = monitor_.read();
-    for (std::size_t e = 0; e < uarch::kNumEvents; ++e) {
-        // Clamp: a noisy read can report fewer events than the
-        // previous snapshot; a real counter delta never goes
-        // negative, so saturate at zero instead of wrapping.
-        win.events[e] = cumulative[e] >= accum.eventBase[e]
-            ? cumulative[e] - accum.eventBase[e]
-            : 0;
-    }
+    uarch::saturatingDelta(cumulative, accum.eventBase, win.events);
     accum.eventBase = cumulative;
     win.cycles = cpi_.cycles() - accum.cycleBase;
     accum.cycleBase = cpi_.cycles();

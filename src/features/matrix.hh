@@ -1,16 +1,25 @@
 /**
  * @file
- * Contiguous row-major feature matrix for batched scoring.
+ * Contiguous feature matrix for batched scoring: row-major rows plus
+ * an optional padded column-major (SoA) view.
  *
  * The per-window scoring path hands every classifier a fresh
  * std::vector<double>, which is fine for one window but allocates and
  * pointer-chases per row when a batch of requests is scored together.
  * FeatureMatrix lays a whole batch out as one contiguous row-major
  * block so the ml scoreBatch() implementations can walk rows with a
- * plain pointer loop (cache-friendly, auto-vectorizable) while
- * keeping the exact per-row accumulation order of the serial path —
- * batch scores must stay bit-identical to score() for the
- * determinism gates.
+ * plain pointer loop while keeping the exact per-row accumulation
+ * order of the serial path — batch scores must stay bit-identical to
+ * score() for the determinism gates.
+ *
+ * buildSoa() adds the structure-of-arrays view the vector kernels
+ * (src/ml/kernels.hh) consume: each feature column is a contiguous
+ * run of paddedRows() doubles, with rows padded up to a multiple of
+ * simd::kMaxLanes so any lane width can run full vectors over the
+ * tail. Padding rows are zero-filled and are NOT windows: kernels
+ * may compute garbage lanes over them, but no score or decision for
+ * a padding row ever leaves the kernel — callers read exactly
+ * rows() outputs (DESIGN.md section 14).
  */
 
 #ifndef RHMD_FEATURES_MATRIX_HH
@@ -18,6 +27,8 @@
 
 #include <cstddef>
 #include <vector>
+
+#include "support/simd.hh"
 
 namespace rhmd::features
 {
@@ -50,10 +61,37 @@ class FeatureMatrix
     /** The whole backing block, rows * cols doubles. */
     const std::vector<double> &data() const { return data_; }
 
+    /**
+     * Materialize (or refresh) the padded column-major view from the
+     * current row-major contents. Call after the rows are fully
+     * filled; mutating rows afterwards leaves the view stale until
+     * the next buildSoa(). Idempotent.
+     */
+    void buildSoa();
+
+    /** True once buildSoa() has run (also true for an empty matrix). */
+    bool hasSoa() const { return rows_ == 0 || !soa_.empty(); }
+
+    /**
+     * Row count of the SoA view: rows() rounded up to a multiple of
+     * simd::kMaxLanes (0 for an empty matrix). Kernel output buffers
+     * are sized to this so full-width stores never trample memory,
+     * but entries past rows() are padding, never results.
+     */
+    std::size_t paddedRows() const { return paddedRows_; }
+
+    /**
+     * Column @p j of the SoA view: paddedRows() contiguous doubles,
+     * zero-filled past rows(). Panics unless buildSoa() has run.
+     */
+    const double *col(std::size_t j) const;
+
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
     std::vector<double> data_;
+    std::size_t paddedRows_ = 0;
+    std::vector<double> soa_;
 };
 
 } // namespace rhmd::features

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/kernels.hh"
 #include "support/logging.hh"
 
 namespace rhmd::features
@@ -67,13 +68,14 @@ FeatureSpec::appendTo(const RawWindow &window, double *out) const
         return;
       }
       case FeatureKind::Memory: {
-        for (std::uint32_t count : window.memDeltaBins)
-            *out++ = count / insts;
+        // Contiguous u32 bins -> per-instruction rates, through the
+        // active simd kernel (bit-identical to the scalar loop).
+        ml::kernels().rateConvertU32(window.memDeltaBins.data(),
+                                     kNumMemBins, insts, out);
         return;
       }
       case FeatureKind::Architectural: {
-        for (std::uint64_t count : window.events)
-            *out++ = static_cast<double>(count) / insts;
+        uarch::eventRates(window.events, insts, out);
         return;
       }
     }
@@ -115,8 +117,9 @@ selectTopDeltaOpcodes(const std::vector<const RawWindow *> &windows,
             1.0, static_cast<double>(window.instCount));
         auto &accum = labels[i] ? malware_mean : benign_mean;
         (labels[i] ? n_malware : n_benign) += 1;
-        for (std::size_t op = 0; op < trace::kNumOpClasses; ++op)
-            accum[op] += window.opcodeCounts[op] / insts;
+        ml::kernels().rateAccumulateU32(window.opcodeCounts.data(),
+                                        trace::kNumOpClasses, insts,
+                                        accum.data());
     }
     fatal_if(n_malware == 0 || n_benign == 0,
              "opcode selection requires both classes in training data");

@@ -46,7 +46,16 @@ class Classifier
      * allocation-free inner loops, but MUST keep the per-row
      * accumulation order of score() exactly — batch scores are
      * required to be bit-identical to the per-window path by the
-     * determinism gates (DESIGN.md §11).
+     * determinism gates (DESIGN.md §11), and that holds across every
+     * simd dispatch target (DESIGN.md §14).
+     *
+     * Exactly rows() scores come back, in row order, whether or not
+     * the matrix carries a padded SoA view: padding lanes exist only
+     * inside the kernels and never surface as scores or decisions.
+     * The serial fallback reads rows [0, rows()) of the row-major
+     * block only, so a batch whose tail rows came from truncated
+     * windows is scored on those rows' real features, never on
+     * out-of-row memory or padding.
      */
     virtual std::vector<double>
     scoreBatch(const features::FeatureMatrix &x) const

@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "ml/kernels.hh"
 #include "support/logging.hh"
 
 namespace rhmd::ml
@@ -109,10 +110,11 @@ Standardizer::apply(const std::vector<double> &v) const
 }
 
 void
-Standardizer::applyInPlace(double *row) const
+Standardizer::applyInPlace(double *row, std::size_t n) const
 {
-    for (std::size_t j = 0; j < mean.size(); ++j)
-        row[j] = (row[j] - mean[j]) / scale[j];
+    panic_if(n != mean.size(),
+             "standardizer dim mismatch: ", n, " vs ", mean.size());
+    kernels().standardizeRow(row, mean.data(), scale.data(), n);
 }
 
 Dataset

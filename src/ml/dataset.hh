@@ -65,11 +65,13 @@ struct Standardizer
     std::vector<double> apply(const std::vector<double> &v) const;
 
     /**
-     * Transform @p row (dim() doubles) in place — the allocation-free
+     * Transform @p row (@p n doubles) in place — the allocation-free
      * form of apply() used when filling feature-matrix rows. Values
-     * are bit-identical to apply().
+     * are bit-identical to apply() on every simd target. Panics
+     * unless @p n == dim(): the caller's buffer length is part of
+     * the call so a short row can never be standardized off its end.
      */
-    void applyInPlace(double *row) const;
+    void applyInPlace(double *row, std::size_t n) const;
 
     /** Transform a whole dataset. */
     Dataset transform(const Dataset &data) const;

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "ml/kernels.hh"
 #include "support/logging.hh"
 
 namespace rhmd::ml
@@ -125,6 +126,41 @@ DecisionTree::train(const Dataset &data, Rng &rng)
     for (std::size_t i = 0; i < data.size(); ++i)
         indices[i] = i;
     build(data, indices, 0);
+    flat_ = flattenTree(nodes_, nullptr);
+}
+
+FlatTree
+flattenTree(const std::vector<DecisionTree::Node> &nodes,
+            const std::vector<std::size_t> *map)
+{
+    FlatTree out;
+    out.feature.reserve(nodes.size());
+    out.threshold.reserve(nodes.size());
+    out.left.reserve(nodes.size());
+    out.right.reserve(nodes.size());
+    out.value.reserve(nodes.size());
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        const DecisionTree::Node &node = nodes[n];
+        if (node.leaf) {
+            out.feature.push_back(-1);
+            out.threshold.push_back(0.0);
+            out.left.push_back(static_cast<std::int64_t>(n));
+            out.right.push_back(static_cast<std::int64_t>(n));
+        } else {
+            panic_if(map != nullptr && node.feature >= map->size(),
+                     "tree split feature ", node.feature,
+                     " outside its feature selection (", map->size(),
+                     " entries)");
+            const std::size_t f =
+                map == nullptr ? node.feature : (*map)[node.feature];
+            out.feature.push_back(static_cast<std::int64_t>(f));
+            out.threshold.push_back(node.threshold);
+            out.left.push_back(node.left);
+            out.right.push_back(node.right);
+        }
+        out.value.push_back(node.value);
+    }
+    return out;
 }
 
 double
@@ -150,9 +186,17 @@ std::vector<double>
 DecisionTree::scoreBatch(const features::FeatureMatrix &x) const
 {
     panic_if(nodes_.empty(), "DT scored before training");
-    std::vector<double> out(x.rows());
-    for (std::size_t r = 0; r < x.rows(); ++r)
-        out[r] = scoreRow(x.row(r));
+    const KernelTable &k = kernels();
+    if (k.target == simd::Target::Scalar) {
+        // Reference path: the historical per-row walk over nodes_.
+        std::vector<double> out(x.rows());
+        for (std::size_t r = 0; r < x.rows(); ++r)
+            out[r] = scoreRow(x.row(r));
+        return out;
+    }
+    std::vector<double> out = scoreSpan(x);
+    k.treeScore(flat_, x, out.data());
+    out.resize(x.rows());  // drop padding lanes: they are not windows
     return out;
 }
 

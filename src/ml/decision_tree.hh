@@ -8,6 +8,7 @@
 #define RHMD_ML_DECISION_TREE_HH
 
 #include "ml/classifier.hh"
+#include "ml/flat_tree.hh"
 
 namespace rhmd::ml
 {
@@ -63,6 +64,9 @@ class DecisionTree : public Classifier
     /** The grown node array (root at index 0; empty before train). */
     const std::vector<Node> &nodes() const { return nodes_; }
 
+    /** The grown tree in kernel layout (rebuilt by train()). */
+    const FlatTree &flat() const { return flat_; }
+
   private:
     std::int32_t build(const Dataset &data,
                        std::vector<std::size_t> &indices,
@@ -70,7 +74,20 @@ class DecisionTree : public Classifier
 
     TreeConfig config_;
     std::vector<Node> nodes_;
+    FlatTree flat_;
 };
+
+/**
+ * Flatten a grown node array into the kernel layout. @p map, when
+ * non-null, rewrites each split's feature index through
+ * (*map)[feature] — the random forest uses its per-tree feature
+ * selection here so the traversal kernels read full-width rows
+ * directly instead of copying a projected row per (row, tree) pair.
+ * Thresholds, structure, and leaf values are untouched, so the
+ * flattened walk reaches exactly the leaves the Node walk reaches.
+ */
+FlatTree flattenTree(const std::vector<DecisionTree::Node> &nodes,
+                     const std::vector<std::size_t> *map);
 
 } // namespace rhmd::ml
 

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Structure-of-arrays decision-tree layout for the traversal kernels.
+ */
+
+#ifndef RHMD_ML_FLAT_TREE_HH
+#define RHMD_ML_FLAT_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rhmd::ml
+{
+
+/**
+ * One decision tree flattened into structure-of-arrays node fields
+ * so traversal kernels can gather per-lane node state. Leaves carry
+ * feature = -1 and self-referential children, which makes a masked
+ * multi-lane traversal idempotent once a lane lands on its leaf: the
+ * lane keeps re-selecting itself while the others finish.
+ */
+struct FlatTree
+{
+    std::vector<std::int64_t> feature;  ///< split feature, -1 = leaf
+    std::vector<double> threshold;      ///< go left when x[f] <= t
+    std::vector<std::int64_t> left;     ///< child ids (leaf: self)
+    std::vector<std::int64_t> right;
+    std::vector<double> value;          ///< leaf positive fraction
+
+    std::size_t size() const { return feature.size(); }
+    bool empty() const { return feature.empty(); }
+};
+
+} // namespace rhmd::ml
+
+#endif // RHMD_ML_FLAT_TREE_HH

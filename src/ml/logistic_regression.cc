@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "ml/kernels.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 
@@ -86,16 +87,29 @@ LogisticRegression::scoreBatch(const features::FeatureMatrix &x) const
              weights_.size());
     const std::size_t d = weights_.size();
     const double *w = weights_.data();
-    std::vector<double> out(x.rows());
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-        const double *row = x.row(r);
-        // Same left-to-right accumulation as support::dot, so the
-        // batch score is bit-identical to score().
-        double z = 0.0;
-        for (std::size_t j = 0; j < d; ++j)
-            z += w[j] * row[j];
-        out[r] = sigmoid(z + bias_);
+    const KernelTable &k = kernels();
+    if (k.target == simd::Target::Scalar) {
+        // Reference path: same left-to-right accumulation as
+        // support::dot, so the batch score is bit-identical to
+        // score().
+        std::vector<double> out(x.rows());
+        for (std::size_t r = 0; r < x.rows(); ++r) {
+            const double *row = x.row(r);
+            double z = 0.0;
+            for (std::size_t j = 0; j < d; ++j)
+                z += w[j] * row[j];
+            out[r] = sigmoid(z + bias_);
+        }
+        return out;
     }
+    // Kernel path: one margin per SoA lane with the reference's
+    // per-row accumulation order; the link function stays a scalar
+    // libm call per real row so every target shares its rounding.
+    std::vector<double> out = scoreSpan(x);
+    k.linearMargin(x, w, bias_, out.data());
+    out.resize(x.rows());  // drop padding lanes: they are not windows
+    for (double &z : out)
+        z = sigmoid(z);
     return out;
 }
 

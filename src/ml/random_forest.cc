@@ -8,6 +8,7 @@
 #include <cmath>
 #include <utility>
 
+#include "ml/kernels.hh"
 #include "support/logging.hh"
 #include "support/parallel.hh"
 
@@ -81,6 +82,11 @@ RandomForest::train(const Dataset &data, Rng &rng)
         trees_.push_back(std::move(result.tree));
         featureSel_.push_back(std::move(result.sel));
     }
+
+    flat_.clear();
+    flat_.reserve(trees_.size());
+    for (std::size_t t = 0; t < trees_.size(); ++t)
+        flat_.push_back(flattenTree(trees_[t].nodes(), &featureSel_[t]));
 }
 
 double
@@ -103,22 +109,34 @@ std::vector<double>
 RandomForest::scoreBatch(const features::FeatureMatrix &x) const
 {
     panic_if(trees_.empty(), "RF scored before training");
-    std::vector<double> out(x.rows());
-    // One projection buffer reused across every (row, tree) pair;
-    // tree order and the running sum match score() exactly.
-    std::vector<double> projected;
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-        const double *row = x.row(r);
-        double total = 0.0;
-        for (std::size_t t = 0; t < trees_.size(); ++t) {
-            projected.clear();
-            projected.reserve(featureSel_[t].size());
-            for (std::size_t f : featureSel_[t])
-                projected.push_back(row[f]);
-            total += trees_[t].scoreRow(projected.data());
+    const KernelTable &k = kernels();
+    if (k.target == simd::Target::Scalar) {
+        // Reference path: one projection buffer reused across every
+        // (row, tree) pair; tree order and the running sum match
+        // score() exactly.
+        std::vector<double> out(x.rows());
+        std::vector<double> projected;
+        for (std::size_t r = 0; r < x.rows(); ++r) {
+            const double *row = x.row(r);
+            double total = 0.0;
+            for (std::size_t t = 0; t < trees_.size(); ++t) {
+                projected.clear();
+                projected.reserve(featureSel_[t].size());
+                for (std::size_t f : featureSel_[t])
+                    projected.push_back(row[f]);
+                total += trees_[t].scoreRow(projected.data());
+            }
+            out[r] = total / static_cast<double>(trees_.size());
         }
-        out[r] = total / static_cast<double>(trees_.size());
+        return out;
     }
+    // Kernel path: splits were remapped through featureSel_ when the
+    // trees were flattened, so traversal reads full-width rows — the
+    // same comparisons against the same thresholds, reaching the
+    // same leaves, summed in the same tree order.
+    std::vector<double> out = scoreSpan(x);
+    k.forestScore(flat_.data(), flat_.size(), x, out.data());
+    out.resize(x.rows());  // drop padding lanes: they are not windows
     return out;
 }
 

@@ -66,6 +66,12 @@ class RandomForest : public Classifier
     std::vector<DecisionTree> trees_;
     /** Per-tree selected feature indices. */
     std::vector<std::vector<std::size_t>> featureSel_;
+    /**
+     * Trees in kernel layout with splits remapped through
+     * featureSel_, so the traversal kernels read full-width feature
+     * rows directly (no per-(row, tree) projection copies).
+     */
+    std::vector<FlatTree> flat_;
 };
 
 } // namespace rhmd::ml

@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "ml/kernels.hh"
 #include "ml/logistic_regression.hh"  // for sigmoid()
 #include "support/logging.hh"
 #include "support/stats.hh"
@@ -73,16 +74,27 @@ LinearSvm::scoreBatch(const features::FeatureMatrix &x) const
              weights_.size());
     const std::size_t d = weights_.size();
     const double *w = weights_.data();
-    std::vector<double> out(x.rows());
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-        const double *row = x.row(r);
-        // margin() via support::dot's accumulation order, so batch
-        // scores are bit-identical to score().
-        double z = 0.0;
-        for (std::size_t j = 0; j < d; ++j)
-            z += w[j] * row[j];
-        out[r] = sigmoid(config_.scoreSharpness * (z + bias_));
+    const KernelTable &k = kernels();
+    if (k.target == simd::Target::Scalar) {
+        // Reference path: margin() via support::dot's accumulation
+        // order, so batch scores are bit-identical to score().
+        std::vector<double> out(x.rows());
+        for (std::size_t r = 0; r < x.rows(); ++r) {
+            const double *row = x.row(r);
+            double z = 0.0;
+            for (std::size_t j = 0; j < d; ++j)
+                z += w[j] * row[j];
+            out[r] = sigmoid(config_.scoreSharpness * (z + bias_));
+        }
+        return out;
     }
+    // Kernel path: SoA margins with the reference accumulation
+    // order, sharpness and sigmoid applied per real row.
+    std::vector<double> out = scoreSpan(x);
+    k.linearMargin(x, w, bias_, out.data());
+    out.resize(x.rows());  // drop padding lanes: they are not windows
+    for (double &z : out)
+        z = sigmoid(config_.scoreSharpness * z);
     return out;
 }
 

@@ -5,10 +5,28 @@
 
 #include "uarch/perf_counters.hh"
 
+#include "ml/kernels.hh"
 #include "support/logging.hh"
 
 namespace rhmd::uarch
 {
+
+void
+saturatingDelta(const EventCounts &cumulative, const EventCounts &base,
+                EventCounts &out)
+{
+    for (std::size_t e = 0; e < kNumEvents; ++e)
+        out[e] = cumulative[e] >= base[e] ? cumulative[e] - base[e] : 0;
+}
+
+void
+eventRates(const EventCounts &counts, double insts, double *out)
+{
+    double widened[kNumEvents];
+    for (std::size_t e = 0; e < kNumEvents; ++e)
+        widened[e] = static_cast<double>(counts[e]);
+    ml::kernels().rateConvertF64(widened, kNumEvents, insts, out);
+}
 
 std::string_view
 eventName(Event event)

@@ -50,6 +50,24 @@ std::string_view eventName(Event event);
 using EventCounts = std::array<std::uint64_t, kNumEvents>;
 
 /**
+ * out[e] = cumulative[e] - base[e], saturating at zero. A noisy
+ * sensor read can report fewer events than the previous snapshot; a
+ * real counter delta never goes negative, so clamp instead of
+ * wrapping (the window-boundary rule in FeatureSession).
+ */
+void saturatingDelta(const EventCounts &cumulative,
+                     const EventCounts &base, EventCounts &out);
+
+/**
+ * out[e] = double(counts[e]) / insts for all kNumEvents events —
+ * the Architectural feature family's count-to-rate conversion,
+ * dispatched through the active simd kernel table. Bit-identical on
+ * every target: the u64 -> double converts stay scalar and only the
+ * independent per-event divides are vectorized.
+ */
+void eventRates(const EventCounts &counts, double insts, double *out);
+
+/**
  * Mutating hook applied to every counter read on the sensor path.
  * The fault-injection layer (src/runtime/) installs hooks that model
  * hardware-induced read noise, quantized counters, and stuck-at
