@@ -14,6 +14,12 @@
  *   --threads N   worker threads for the parallel hot paths
  *                 (default: RHMD_THREADS env, then hardware)
  *   --smoke       CI-sized corpus (also RHMD_SMOKE=1)
+ *   --corpus P    replay feature extraction from the RHMD-CORPUS
+ *                 file at P instead of executing programs (scores
+ *                 and decisions are bit-identical either way; see
+ *                 DESIGN.md §15). Without the flag, a key-matching
+ *                 file under $RHMD_CORPUS_DIR is replayed when one
+ *                 exists.
  *
  * finish() emits a machine-readable BENCH_<name>.json (wall time,
  * thread count, speedup vs the recorded serial baseline, the run
@@ -44,6 +50,7 @@
 
 #include "core/experiment.hh"
 #include "core/reverse_engineer.hh"
+#include "corpus/cache.hh"
 #include "core/rhmd.hh"
 #include "ml/metrics.hh"
 #include "support/csv.hh"
@@ -69,6 +76,7 @@ struct Session
     std::size_t threads = 1;
     bool smoke = false;
     std::uint64_t seed = 0;    ///< stamped by standardConfig()
+    std::string corpusPath;    ///< --corpus replay file ("" = env/fresh)
     std::chrono::steady_clock::time_point start;
     std::vector<TableRecord> tables;
 };
@@ -110,8 +118,12 @@ init(int argc, char **argv)
             threads = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--smoke") {
             s.smoke = true;
+        } else if (arg == "--corpus" && i + 1 < argc) {
+            s.corpusPath = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s [--threads N] [--smoke]\n", argv[0]);
+            std::printf(
+                "usage: %s [--threads N] [--smoke] [--corpus FILE]\n",
+                argv[0]);
             std::exit(0);
         } else {
             std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
@@ -171,6 +183,21 @@ manifest()
     m.seed = s.seed;
     m.threads = s.threads;
     m.smoke = s.smoke;
+    // When the experiment replayed a corpus file, name it (and its
+    // content identity) so a BENCH_*.json says which bytes produced
+    // it; bench_gate.py compare refuses to diff documents whose
+    // corpus hashes disagree.
+    const corpus::ReplayInfo &replay = corpus::replayInfo();
+    if (replay.active) {
+        char hash[32];
+        std::snprintf(hash, sizeof(hash), "%016llx",
+                      static_cast<unsigned long long>(
+                          replay.contentHash));
+        m.addConfig("corpus_path", replay.path);
+        m.addConfig("corpus_format_version",
+                    std::to_string(replay.formatVersion));
+        m.addConfig("corpus_hash", hash);
+    }
     return m;
 }
 
@@ -258,25 +285,30 @@ finish()
 }
 
 /**
+ * One of the shared corpus::presetConfig experiment presets, sized
+ * for this run's smoke flag, with the session seed stamped and any
+ * --corpus replay file applied. Benches use presets (instead of
+ * ad-hoc config edits) so `rhmd-corpus generate` can produce cache
+ * files whose config keys match the bench runs exactly.
+ */
+inline core::ExperimentConfig
+benchConfig(const std::string &preset)
+{
+    core::ExperimentConfig config =
+        corpus::presetConfig(preset, smoke());
+    session().seed = config.seed;
+    config.corpusPath = session().corpusPath;
+    return config;
+}
+
+/**
  * The standard bench corpus (paper: 554 benign + 3000 malware;
  * --smoke shrinks it to CI size).
  */
 inline core::ExperimentConfig
 standardConfig()
 {
-    core::ExperimentConfig config;
-    config.seed = 20171014;  // MICRO-50 opening day
-    session().seed = config.seed;
-    config.benignCount = 180;
-    config.malwareCount = 360;
-    config.periods = {5000, 10000};
-    config.traceInsts = 120000;
-    if (smoke()) {
-        config.benignCount = 60;
-        config.malwareCount = 120;
-        config.traceInsts = 80000;
-    }
-    return config;
+    return benchConfig("standard");
 }
 
 /** Feature spec shorthand. */

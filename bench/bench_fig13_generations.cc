@@ -22,12 +22,8 @@ main(int argc, char **argv)
     banner("The evade-retrain game",
            "Fig. 13: NN detector generations");
 
-    core::ExperimentConfig config = standardConfig();
-    if (!smoke()) {
-        config.benignCount = 120;
-        config.malwareCount = 240;
-    }
-    const core::Experiment exp = core::Experiment::build(config);
+    const core::Experiment exp =
+        core::Experiment::build(benchConfig("fig13"));
 
     core::GameConfig game;
     game.algorithm = "NN";

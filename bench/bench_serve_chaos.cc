@@ -156,9 +156,8 @@ main(int argc, char **argv)
            "under seeded faults",
            "beyond the paper; cf. Sec. 7 always-on deployment");
 
-    core::ExperimentConfig config = standardConfig();
-    config.traceInsts = 40000;
-    const core::Experiment exp = core::Experiment::build(config);
+    const core::Experiment exp =
+        core::Experiment::build(benchConfig("serve"));
 
     std::vector<features::FeatureSpec> specs;
     specs.push_back(spec(features::FeatureKind::Instructions, 10000));

@@ -79,9 +79,8 @@ main(int argc, char **argv)
     // Serving requests are small — a few epochs each, like windows
     // streamed off live hardware — so the per-batch overheads being
     // amortized are visible against the scoring work.
-    core::ExperimentConfig config = standardConfig();
-    config.traceInsts = 40000;
-    const core::Experiment exp = core::Experiment::build(config);
+    const core::Experiment exp =
+        core::Experiment::build(benchConfig("serve"));
 
     // A three-family pool at two periods, as deployed elsewhere.
     std::vector<features::FeatureSpec> specs;

@@ -5,12 +5,58 @@
 
 #include "core/experiment.hh"
 
+#include "corpus/cache.hh"
+#include "corpus/reader.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/parallel.hh"
 #include "support/tracing.hh"
 
 namespace rhmd::core
 {
+
+namespace
+{
+
+support::Counter &
+replayWindowsCounter()
+{
+    static support::Counter &c = support::metrics().counter(
+        "corpus.replay_windows", "feature windows replayed from corpus files");
+    return c;
+}
+
+support::Counter &
+replayBytesCounter()
+{
+    static support::Counter &c = support::metrics().counter(
+        "corpus.replay_bytes", "corpus file bytes mapped for replay");
+    return c;
+}
+
+} // namespace
+
+trace::GeneratorConfig
+generatorConfigOf(const ExperimentConfig &config)
+{
+    trace::GeneratorConfig gen;
+    gen.seed = config.seed;
+    gen.benignCount = config.benignCount;
+    gen.malwareCount = config.malwareCount;
+    gen.commonBlend = config.commonBlend;
+    gen.hardBlend = config.hardBlend;
+    gen.hardFrac = config.hardFrac;
+    return gen;
+}
+
+features::ExtractConfig
+extractConfigOf(const ExperimentConfig &config)
+{
+    features::ExtractConfig extract;
+    extract.periods = config.periods;
+    extract.traceInsts = config.traceInsts;
+    return extract;
+}
 
 Experiment
 Experiment::build(const ExperimentConfig &config)
@@ -19,22 +65,41 @@ Experiment::build(const ExperimentConfig &config)
     Experiment exp;
     exp.config_ = config;
 
-    trace::GeneratorConfig gen;
-    gen.seed = config.seed;
-    gen.benignCount = config.benignCount;
-    gen.malwareCount = config.malwareCount;
-    gen.commonBlend = config.commonBlend;
-    gen.hardBlend = config.hardBlend;
-    gen.hardFrac = config.hardFrac;
+    // Programs are always generated — they are cheap relative to
+    // execution, and evasion rewrites (extractEvasive) need the
+    // program bodies even when extraction replays from a corpus file.
     {
         const support::ScopedSpan generate_span("generate");
-        const trace::ProgramGenerator generator(gen);
+        const trace::ProgramGenerator generator(generatorConfigOf(config));
         exp.programs_ = generator.generateCorpus();
     }
 
-    exp.extract_.periods = config.periods;
-    exp.extract_.traceInsts = config.traceInsts;
-    exp.corpus_ = features::extractCorpus(exp.programs_, exp.extract_);
+    exp.extract_ = extractConfigOf(config);
+
+    const std::string replay_path = config.corpusPath.empty()
+                                        ? corpus::resolveReplayPath(config)
+                                        : config.corpusPath;
+    if (!replay_path.empty()) {
+        const support::ScopedSpan replay_span("replay");
+        auto reader = corpus::CorpusReader::open(replay_path);
+        fatal_if(!reader.isOk(), "cannot replay corpus '", replay_path,
+                 "': ", reader.status().message());
+        const std::uint64_t want = corpus::configKey(config);
+        fatal_if(reader->configKey() != want, "corpus '", replay_path,
+                 "' was generated for a different configuration (file is ",
+                 corpus::cacheFileName(reader->configKey()),
+                 ", this run needs ", corpus::cacheFileName(want), ")");
+        exp.corpus_ = reader->materialize();
+        replayWindowsCounter().add(reader->windowTotal());
+        replayBytesCounter().add(reader->fileBytes());
+        corpus::ReplayInfo &info = corpus::replayInfo();
+        info.active = true;
+        info.path = replay_path;
+        info.formatVersion = reader->formatVersion();
+        info.contentHash = reader->contentHash();
+    } else {
+        exp.corpus_ = features::extractCorpus(exp.programs_, exp.extract_);
+    }
 
     {
         const support::ScopedSpan split_span("split");

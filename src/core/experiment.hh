@@ -37,7 +37,28 @@ struct ExperimentConfig
     std::uint64_t traceInsts = 120000;
 
     std::size_t opcodeTopK = 16;
+
+    /**
+     * When non-empty, Experiment::build replays feature extraction
+     * from this RHMD-CORPUS file instead of executing programs
+     * (programs are still generated — evasion rewrites need them).
+     * The file's config key must match this configuration; a
+     * mismatch is fatal. When empty, build() consults
+     * $RHMD_CORPUS_DIR for a key-matching cached corpus and falls
+     * back to fresh extraction when none exists.
+     */
+    std::string corpusPath;
 };
+
+/**
+ * The generator parameters @p config induces — the single mapping
+ * shared by Experiment::build and corpus::writeExperimentCorpus so a
+ * corpus file and a fresh run always describe the same population.
+ */
+trace::GeneratorConfig generatorConfigOf(const ExperimentConfig &config);
+
+/** The extraction parameters @p config induces (same contract). */
+features::ExtractConfig extractConfigOf(const ExperimentConfig &config);
 
 /**
  * A fully-built experiment: the programs (kept so evasion can

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Corpus cache implementation.
+ */
+
+#include "corpus/cache.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+
+#include "corpus/format.hh"
+#include "corpus/writer.hh"
+#include "features/corpus.hh"
+#include "support/logging.hh"
+#include "support/parallel.hh"
+#include "trace/generator.hh"
+
+namespace rhmd::corpus
+{
+
+std::uint64_t
+configKey(const core::ExperimentConfig &config)
+{
+    std::uint64_t key = kFnvOffset;
+    key = fnv1aU64(key, kCorpusFormatVersion);
+    key = fnv1aU64(key, config.seed);
+    key = fnv1aU64(key, config.benignCount);
+    key = fnv1aU64(key, config.malwareCount);
+    key = fnv1aU64(key, std::bit_cast<std::uint64_t>(config.commonBlend));
+    key = fnv1aU64(key, std::bit_cast<std::uint64_t>(config.hardBlend));
+    key = fnv1aU64(key, std::bit_cast<std::uint64_t>(config.hardFrac));
+    key = fnv1aU64(key, config.periods.size());
+    for (std::uint32_t period : config.periods)
+        key = fnv1aU64(key, period);
+    key = fnv1aU64(key, config.traceInsts);
+    return key;
+}
+
+std::string
+cacheFileName(std::uint64_t key)
+{
+    char name[40];
+    std::snprintf(name, sizeof(name), "corpus-%016llx.rhmdc",
+                  static_cast<unsigned long long>(key));
+    return name;
+}
+
+std::string
+resolveReplayPath(const core::ExperimentConfig &config)
+{
+    const char *dir = std::getenv("RHMD_CORPUS_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return "";
+    const std::string path =
+        std::string(dir) + "/" + cacheFileName(configKey(config));
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        return "";
+    std::fclose(file);
+    return path;
+}
+
+core::ExperimentConfig
+presetConfig(const std::string &preset, bool smoke)
+{
+    // The "standard" numbers must stay in lockstep with what the
+    // benches run (bench/bench_common.hh delegates here), or cached
+    // corpora stop key-matching bench configurations.
+    core::ExperimentConfig config;
+    config.seed = 20171014; // MICRO-50 opening day
+    config.benignCount = 180;
+    config.malwareCount = 360;
+    config.periods = {5000, 10000};
+    config.traceInsts = 120000;
+    if (smoke) {
+        config.benignCount = 60;
+        config.malwareCount = 120;
+        config.traceInsts = 80000;
+    }
+    if (preset == "standard")
+        return config;
+    if (preset == "fig13") {
+        if (!smoke) {
+            config.benignCount = 120;
+            config.malwareCount = 240;
+        }
+        return config;
+    }
+    if (preset == "serve") {
+        config.traceInsts = 40000;
+        return config;
+    }
+    rhmd_fatal("unknown corpus preset '", preset,
+               "' (known: standard, fig13, serve)");
+}
+
+const std::vector<std::string> &
+presetNames()
+{
+    static const std::vector<std::string> names = {"standard", "fig13",
+                                                   "serve"};
+    return names;
+}
+
+ReplayInfo &
+replayInfo()
+{
+    static ReplayInfo info;
+    return info;
+}
+
+support::StatusOr<WriteSummary>
+writeExperimentCorpus(const core::ExperimentConfig &config,
+                      const std::string &path)
+{
+    const trace::GeneratorConfig gen = core::generatorConfigOf(config);
+    const std::vector<trace::Program> programs =
+        trace::ProgramGenerator(gen).generateCorpus();
+    const features::ExtractConfig extract =
+        core::extractConfigOf(config);
+
+    auto writer =
+        CorpusWriter::create(path, configKey(config), extract.periods);
+    if (!writer.isOk())
+        return writer.status();
+
+    // Chunked extraction: parallel across the chunk's programs,
+    // appended in program order, chunk windows freed before the next
+    // chunk starts — bounded memory at any corpus size, and the same
+    // bytes at every thread count (extraction is per-program seeded).
+    constexpr std::size_t kChunk = 32;
+    for (std::size_t start = 0; start < programs.size();
+         start += kChunk) {
+        const std::size_t n =
+            std::min(kChunk, programs.size() - start);
+        std::vector<features::ProgramFeatures> chunk =
+            support::parallelMap<features::ProgramFeatures>(
+                n, [&](std::size_t i) {
+                    return features::extractProgram(
+                        programs[start + i], extract);
+                });
+        for (const features::ProgramFeatures &prog : chunk) {
+            const support::Status st = writer->append(prog);
+            if (!st.isOk())
+                return st;
+        }
+    }
+    const support::Status st = writer->finalize();
+    if (!st.isOk())
+        return st;
+
+    WriteSummary summary;
+    summary.path = path;
+    summary.configKey = configKey(config);
+    summary.contentHash = writer->contentHash();
+    summary.programs = writer->programCount();
+    summary.windows = writer->windowTotal();
+    summary.bytes = writer->bytesWritten();
+    return summary;
+}
+
+} // namespace rhmd::corpus

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Corpus cache plumbing: configuration keys, the shared bench/tool
+ * experiment presets, $RHMD_CORPUS_DIR resolution, and the chunked
+ * streaming corpus build behind `rhmd-corpus generate`.
+ *
+ * A corpus file is only replayable for the exact configuration that
+ * generated it, so cached corpora are addressed by a 64-bit config
+ * key derived from (format version, seed, corpus sizes, hardness
+ * blends, periods, trace length). Experiment::build refuses a
+ * key-mismatched file; the CI corpus-cache stage keys its
+ * actions/cache entries the same way.
+ */
+
+#ifndef RHMD_CORPUS_CACHE_HH
+#define RHMD_CORPUS_CACHE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/experiment.hh"
+#include "support/status.hh"
+
+namespace rhmd::corpus
+{
+
+/**
+ * The 64-bit identity of everything that determines a corpus file's
+ * bytes: the corpus format version plus every ExperimentConfig field
+ * the generator and extractor consume (seed, program counts,
+ * hardness blends, periods, trace length). Training-side fields
+ * (opcodeTopK) and the replay path itself are excluded.
+ */
+std::uint64_t configKey(const core::ExperimentConfig &config);
+
+/** Canonical cache file name: "corpus-<16-hex-key>.rhmdc". */
+std::string cacheFileName(std::uint64_t key);
+
+/**
+ * Resolve the replay path for @p config: when $RHMD_CORPUS_DIR names
+ * a directory containing cacheFileName(configKey(config)), return
+ * that path; otherwise return "" (callers fall back to fresh
+ * generation). An explicit ExperimentConfig::corpusPath bypasses
+ * this lookup entirely.
+ */
+std::string resolveReplayPath(const core::ExperimentConfig &config);
+
+/**
+ * The experiment configurations the benches run, shared with
+ * `rhmd-corpus generate` so pre-generated corpora key-match the
+ * bench runs exactly:
+ *
+ *   "standard"  bench_common standardConfig(): the fig02/fig16/
+ *               micro_perf corpus
+ *   "fig13"     standard, with the full-size program counts
+ *               bench_fig13_generations uses (same as standard in
+ *               smoke mode)
+ *   "serve"     standard with the short 40k-instruction traces the
+ *               serving benches extract
+ *
+ * Fatal on an unknown preset name (config-time error).
+ */
+core::ExperimentConfig presetConfig(const std::string &preset,
+                                    bool smoke);
+
+/** Every preset name, for CLI help and generate-all loops. */
+const std::vector<std::string> &presetNames();
+
+/**
+ * Process-wide record of the corpus replay the experiment pipeline
+ * performed, stamped into bench manifests (bench_common) so a
+ * BENCH_*.json from a corpus-backed run names the corpus it replayed.
+ * Set by Experiment::build when it replays; never cleared.
+ */
+struct ReplayInfo
+{
+    bool active = false;
+    std::string path;
+    std::uint32_t formatVersion = 0;
+    std::uint64_t contentHash = 0;
+};
+
+ReplayInfo &replayInfo();
+
+/** What writeExperimentCorpus() produced. */
+struct WriteSummary
+{
+    std::string path;
+    std::uint64_t configKey = 0;
+    std::uint64_t contentHash = 0;
+    std::size_t programs = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t bytes = 0;
+};
+
+/**
+ * Generate @p config's program population and stream its extracted
+ * windows into an RHMD-CORPUS file at @p path. Extraction runs in
+ * bounded-size chunks on the global thread pool (parallel across
+ * programs, appended in program order), so peak memory stays at one
+ * chunk of windows regardless of corpus size, and the resulting
+ * bytes are identical at every thread count. The file replays
+ * bit-identically through Experiment::build for the same @p config.
+ */
+support::StatusOr<WriteSummary>
+writeExperimentCorpus(const core::ExperimentConfig &config,
+                      const std::string &path);
+
+} // namespace rhmd::corpus
+
+#endif // RHMD_CORPUS_CACHE_HH

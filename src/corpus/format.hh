@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The RHMD-CORPUS on-disk format: layout constants, little-endian
+ * field codecs, and the FNV-1a section checksum.
+ *
+ * A corpus file holds the extracted feature windows of a whole
+ * program population so experiments can replay extraction instead of
+ * re-executing every synthetic CFG. The file is written in one
+ * forward pass (the writer never seeks, so windows stream to disk as
+ * they are extracted) and laid out so a reader can validate every
+ * byte before trusting any of it:
+ *
+ *   [header]   magic, format version, config key        (32 bytes)
+ *   [data]     packed fixed-size window records, one run
+ *              per (program, period), runs tiling the
+ *              section in index order
+ *   [index]    periods, per-program metadata, and the
+ *              (offset, count) of every window run
+ *   [trailer]  section directory with per-section FNV-1a
+ *              checksums and the trailer magic           (72 bytes)
+ *
+ * Versioning follows the RHMD-MODEL discipline (ml/serialize.hh):
+ * the magic rejects foreign files with InvalidArgument, an
+ * unsupported version is FailedPrecondition, and any truncation or
+ * checksum mismatch is DataLoss — never undefined behaviour. All
+ * multi-byte fields are little-endian regardless of host order;
+ * doubles travel as their IEEE-754 bit patterns so a round trip is
+ * bit-exact.
+ */
+
+#ifndef RHMD_CORPUS_FORMAT_HH
+#define RHMD_CORPUS_FORMAT_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+#include "features/window.hh"
+#include "trace/isa.hh"
+#include "uarch/perf_counters.hh"
+
+namespace rhmd::corpus
+{
+
+/** Magic opening every corpus file (11 chars + NUL pad). */
+inline constexpr char kCorpusMagic[12] = "RHMD-CORPUS";
+
+/** Current corpus format version. */
+inline constexpr std::uint32_t kCorpusFormatVersion = 1;
+
+/** Magic closing the trailer ("RHMDCPS1" as little-endian bytes). */
+inline constexpr std::uint64_t kTrailerMagic = 0x31535043444d4852ULL;
+
+/** Fixed header size: magic + version + config key + reserved. */
+inline constexpr std::size_t kHeaderBytes = 32;
+
+/**
+ * Fixed trailer size: data/index (offset, bytes, checksum) triples,
+ * header checksum, total window count, trailer magic.
+ */
+inline constexpr std::size_t kTrailerBytes = 72;
+
+/**
+ * Size of one packed window record: instCount, cycles bits,
+ * injectedFrac bits, flags (bit 0 = truncated), the architectural
+ * event counts, the opcode-class histogram, and the address-delta
+ * histogram, in that order.
+ */
+inline constexpr std::size_t kWindowRecordBytes =
+    8 * 4 + 8 * uarch::kNumEvents + 4 * trace::kNumOpClasses +
+    4 * features::kNumMemBins;
+
+/** FNV-1a 64-bit offset basis. */
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+/** FNV-1a 64-bit prime. */
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/**
+ * One FNV-1a step per byte. Each step is a bijection of the running
+ * state for a fixed byte, so any single-byte difference in a section
+ * is guaranteed to change the final checksum (the property the
+ * corruption tests lean on).
+ */
+inline std::uint64_t
+fnv1a(std::uint64_t hash, const unsigned char *bytes, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        hash ^= bytes[i];
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+/** Fold one little-endian u64 into a running FNV-1a hash. */
+inline std::uint64_t
+fnv1aU64(std::uint64_t hash, std::uint64_t value)
+{
+    for (int b = 0; b < 8; ++b) {
+        hash ^= (value >> (8 * b)) & 0xffU;
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+/** Store a u32 little-endian (host-order independent). */
+inline void
+storeLe32(std::uint32_t v, unsigned char *p)
+{
+    p[0] = static_cast<unsigned char>(v & 0xffU);
+    p[1] = static_cast<unsigned char>((v >> 8) & 0xffU);
+    p[2] = static_cast<unsigned char>((v >> 16) & 0xffU);
+    p[3] = static_cast<unsigned char>((v >> 24) & 0xffU);
+}
+
+/** Store a u64 little-endian. */
+inline void
+storeLe64(std::uint64_t v, unsigned char *p)
+{
+    for (int b = 0; b < 8; ++b)
+        p[b] = static_cast<unsigned char>((v >> (8 * b)) & 0xffU);
+}
+
+/** Load a little-endian u32. */
+inline std::uint32_t
+loadLe32(const unsigned char *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/** Load a little-endian u64. */
+inline std::uint64_t
+loadLe64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b)
+        v |= static_cast<std::uint64_t>(p[b]) << (8 * b);
+    return v;
+}
+
+/** Encode one window into @p out (kWindowRecordBytes bytes). */
+inline void
+encodeWindow(const features::RawWindow &window, unsigned char *out)
+{
+    unsigned char *p = out;
+    storeLe64(window.instCount, p);
+    p += 8;
+    storeLe64(std::bit_cast<std::uint64_t>(window.cycles), p);
+    p += 8;
+    storeLe64(std::bit_cast<std::uint64_t>(window.injectedFrac), p);
+    p += 8;
+    storeLe64(window.truncated ? 1 : 0, p);
+    p += 8;
+    for (std::uint64_t event : window.events) {
+        storeLe64(event, p);
+        p += 8;
+    }
+    for (std::uint32_t count : window.opcodeCounts) {
+        storeLe32(count, p);
+        p += 4;
+    }
+    for (std::uint32_t bin : window.memDeltaBins) {
+        storeLe32(bin, p);
+        p += 4;
+    }
+}
+
+/**
+ * Decode one window record from @p in (kWindowRecordBytes bytes,
+ * bounds already validated by the reader) into @p out. The inverse
+ * of encodeWindow(); doubles are restored bit-exactly.
+ */
+inline void
+decodeWindow(const unsigned char *in, features::RawWindow &out)
+{
+    const unsigned char *p = in;
+    out.instCount = loadLe64(p);
+    p += 8;
+    out.cycles = std::bit_cast<double>(loadLe64(p));
+    p += 8;
+    out.injectedFrac = std::bit_cast<double>(loadLe64(p));
+    p += 8;
+    out.truncated = (loadLe64(p) & 1U) != 0;
+    p += 8;
+    for (std::uint64_t &event : out.events) {
+        event = loadLe64(p);
+        p += 8;
+    }
+    for (std::uint32_t &count : out.opcodeCounts) {
+        count = loadLe32(p);
+        p += 4;
+    }
+    for (std::uint32_t &bin : out.memDeltaBins) {
+        bin = loadLe32(p);
+        p += 4;
+    }
+}
+
+/**
+ * The content identity stamped into run manifests: format version,
+ * config key, and both section checksums folded into one FNV-1a
+ * value. Two corpora agree on it iff their bytes agree.
+ */
+inline std::uint64_t
+contentHashOf(std::uint32_t version, std::uint64_t config_key,
+              std::uint64_t data_checksum, std::uint64_t index_checksum)
+{
+    std::uint64_t hash = kFnvOffset;
+    hash = fnv1aU64(hash, version);
+    hash = fnv1aU64(hash, config_key);
+    hash = fnv1aU64(hash, data_checksum);
+    hash = fnv1aU64(hash, index_checksum);
+    return hash;
+}
+
+} // namespace rhmd::corpus
+
+#endif // RHMD_CORPUS_FORMAT_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Streaming corpus writer implementation.
+ */
+
+#include "corpus/writer.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "corpus/format.hh"
+
+namespace rhmd::corpus
+{
+
+support::StatusOr<CorpusWriter>
+CorpusWriter::create(const std::string &path, std::uint64_t config_key,
+                     std::vector<std::uint32_t> periods)
+{
+    if (periods.empty())
+        return support::invalidArgumentError(
+            "corpus writer needs at least one period");
+    std::vector<std::uint32_t> sorted = periods;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+        return support::invalidArgumentError(
+            "corpus writer periods must be unique");
+    if (sorted.front() == 0)
+        return support::invalidArgumentError(
+            "corpus writer periods must be positive");
+
+    CorpusWriter writer;
+    writer.out_.open(path, std::ios::binary | std::ios::trunc);
+    if (!writer.out_)
+        return support::unavailableError("cannot create corpus file '",
+                                         path, "'");
+    writer.periods_ = std::move(periods);
+    writer.configKey_ = config_key;
+
+    unsigned char header[kHeaderBytes] = {};
+    static_assert(sizeof(kCorpusMagic) == 12);
+    for (std::size_t i = 0; i < sizeof(kCorpusMagic); ++i)
+        header[i] = static_cast<unsigned char>(kCorpusMagic[i]);
+    storeLe32(kCorpusFormatVersion, header + 12);
+    storeLe64(config_key, header + 16);
+    storeLe64(0, header + 24); // reserved
+    writer.headerChecksum_ = kFnvOffset;
+    const support::Status st =
+        writer.put(header, sizeof(header), writer.headerChecksum_);
+    if (!st.isOk())
+        return st;
+    writer.dataChecksum_ = kFnvOffset;
+    return writer;
+}
+
+support::Status
+CorpusWriter::put(const unsigned char *bytes, std::size_t n,
+                  std::uint64_t &checksum)
+{
+    out_.write(reinterpret_cast<const char *>(bytes),
+               static_cast<std::streamsize>(n));
+    if (!out_)
+        return support::unavailableError(
+            "corpus write failed after ", bytesWritten_, " bytes");
+    checksum = fnv1a(checksum, bytes, n);
+    bytesWritten_ += n;
+    return support::Status();
+}
+
+support::Status
+CorpusWriter::append(const features::ProgramFeatures &program)
+{
+    if (finalized_)
+        return support::failedPreconditionError(
+            "append on a finalized corpus writer");
+    ProgramEntry entry;
+    entry.name = program.name;
+    entry.malware = program.malware;
+    entry.family = program.family;
+    unsigned char record[kWindowRecordBytes];
+    for (std::uint32_t period : periods_) {
+        const auto it = program.byPeriod.find(period);
+        if (it == program.byPeriod.end())
+            return support::failedPreconditionError(
+                "program '", program.name, "' has no windows for "
+                "period ", period);
+        entry.runs.emplace_back(it->second.size(), bytesWritten_);
+        for (const features::RawWindow &window : it->second) {
+            encodeWindow(window, record);
+            const support::Status st =
+                put(record, sizeof(record), dataChecksum_);
+            if (!st.isOk())
+                return st;
+        }
+        windowTotal_ += it->second.size();
+    }
+    index_.push_back(std::move(entry));
+    return support::Status();
+}
+
+support::Status
+CorpusWriter::finalize()
+{
+    if (finalized_)
+        return support::failedPreconditionError(
+            "finalize on a finalized corpus writer");
+    finalized_ = true;
+
+    const std::uint64_t data_offset = kHeaderBytes;
+    const std::uint64_t data_bytes = bytesWritten_ - kHeaderBytes;
+    const std::uint64_t index_offset = bytesWritten_;
+
+    // Index section: periods, program count, then per program the
+    // name, labels, and one (count, offset) run per period.
+    std::uint64_t index_checksum = kFnvOffset;
+    unsigned char buf[8];
+    const auto put32 = [&](std::uint32_t v) {
+        storeLe32(v, buf);
+        return put(buf, 4, index_checksum);
+    };
+    const auto put64 = [&](std::uint64_t v) {
+        storeLe64(v, buf);
+        return put(buf, 8, index_checksum);
+    };
+    support::Status st =
+        put32(static_cast<std::uint32_t>(periods_.size()));
+    for (std::uint32_t period : periods_) {
+        if (st.isOk())
+            st = put32(period);
+    }
+    if (st.isOk())
+        st = put64(index_.size());
+    for (const ProgramEntry &entry : index_) {
+        if (!st.isOk())
+            break;
+        st = put32(static_cast<std::uint32_t>(entry.name.size()));
+        if (st.isOk() && !entry.name.empty())
+            st = put(
+                reinterpret_cast<const unsigned char *>(
+                    entry.name.data()),
+                entry.name.size(), index_checksum);
+        if (st.isOk())
+            st = put32(entry.malware ? 1U : 0U);
+        if (st.isOk())
+            st = put32(entry.family);
+        for (const auto &[count, offset] : entry.runs) {
+            if (st.isOk())
+                st = put64(count);
+            if (st.isOk())
+                st = put64(offset);
+        }
+    }
+    if (!st.isOk())
+        return st;
+    const std::uint64_t index_bytes = bytesWritten_ - index_offset;
+
+    // Trailer: section directory + checksums + window total + magic.
+    // The trailer itself is not checksummed; every one of its fields
+    // is instead validated structurally by the reader (offsets must
+    // tile the file exactly, checksums must match, the window total
+    // must equal the index sum), so any corrupt trailer byte is still
+    // a detected DataLoss.
+    unsigned char trailer[kTrailerBytes];
+    storeLe64(data_offset, trailer + 0);
+    storeLe64(data_bytes, trailer + 8);
+    storeLe64(dataChecksum_, trailer + 16);
+    storeLe64(index_offset, trailer + 24);
+    storeLe64(index_bytes, trailer + 32);
+    storeLe64(index_checksum, trailer + 40);
+    storeLe64(headerChecksum_, trailer + 48);
+    storeLe64(windowTotal_, trailer + 56);
+    storeLe64(kTrailerMagic, trailer + 64);
+    std::uint64_t scratch = kFnvOffset;
+    st = put(trailer, sizeof(trailer), scratch);
+    if (!st.isOk())
+        return st;
+    out_.flush();
+    if (!out_)
+        return support::unavailableError("corpus flush failed");
+    contentHash_ = contentHashOf(kCorpusFormatVersion, configKey_,
+                                 dataChecksum_, index_checksum);
+    return support::Status();
+}
+
+} // namespace rhmd::corpus

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Streaming corpus writer.
+ *
+ * CorpusWriter emits an RHMD-CORPUS file in one forward pass: the
+ * header goes out at create(), every appended program's window runs
+ * stream straight into the data section (records are encoded into a
+ * small stack buffer, never a whole-corpus staging area), and
+ * finalize() writes the index and checksummed trailer. Peak memory
+ * is one program's windows plus the index entries, independent of
+ * corpus size.
+ */
+
+#ifndef RHMD_CORPUS_WRITER_HH
+#define RHMD_CORPUS_WRITER_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "features/corpus.hh"
+#include "support/status.hh"
+
+namespace rhmd::corpus
+{
+
+/** Streams an RHMD-CORPUS file; see the format spec in format.hh. */
+class CorpusWriter
+{
+  public:
+    /**
+     * Open @p path for writing and emit the header. @p periods fixes
+     * the period set every appended program must carry (in this
+     * order), and @p config_key is the caller's identity for the
+     * generating configuration (see cache.hh). Returns Unavailable
+     * when the file cannot be created, InvalidArgument for an empty
+     * or duplicate period list.
+     */
+    static support::StatusOr<CorpusWriter>
+    create(const std::string &path, std::uint64_t config_key,
+           std::vector<std::uint32_t> periods);
+
+    CorpusWriter(CorpusWriter &&) = default;
+    CorpusWriter &operator=(CorpusWriter &&) = default;
+
+    /**
+     * Append one program's windows (one run per configured period,
+     * in period order). Returns FailedPrecondition when the program
+     * lacks a configured period or the writer is already finalized;
+     * Unavailable on write failure.
+     */
+    support::Status append(const features::ProgramFeatures &program);
+
+    /**
+     * Write the index and trailer and flush. Returns Unavailable on
+     * write failure. No appends are accepted afterwards.
+     */
+    support::Status finalize();
+
+    /** Programs appended so far. */
+    std::size_t programCount() const { return index_.size(); }
+
+    /** Windows appended so far, all periods. */
+    std::uint64_t windowTotal() const { return windowTotal_; }
+
+    /** Bytes emitted so far (the final file size after finalize()). */
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+
+    /** Corpus content hash; meaningful only after finalize(). */
+    std::uint64_t contentHash() const { return contentHash_; }
+
+  private:
+    CorpusWriter() = default;
+
+    /** Write @p n bytes, folding them into @p checksum. */
+    support::Status put(const unsigned char *bytes, std::size_t n,
+                        std::uint64_t &checksum);
+
+    struct ProgramEntry
+    {
+        std::string name;
+        bool malware = false;
+        std::uint32_t family = 0;
+        /** Per period (in periods_ order): window count, offset. */
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> runs;
+    };
+
+    std::ofstream out_;
+    std::vector<std::uint32_t> periods_;
+    std::uint64_t configKey_ = 0;
+    std::uint64_t dataChecksum_ = 0;
+    std::uint64_t headerChecksum_ = 0;
+    std::uint64_t bytesWritten_ = 0;
+    std::uint64_t windowTotal_ = 0;
+    std::uint64_t contentHash_ = 0;
+    std::vector<ProgramEntry> index_;
+    bool finalized_ = false;
+};
+
+} // namespace rhmd::corpus
+
+#endif // RHMD_CORPUS_WRITER_HH

@@ -24,6 +24,12 @@ Dataset::add(std::vector<double> features, int label)
     y.push_back(label);
 }
 
+void
+Dataset::add(const double *features, std::size_t n, int label)
+{
+    add(std::vector<double>(features, features + n), label);
+}
+
 std::size_t
 Dataset::positives() const
 {

@@ -26,6 +26,13 @@ struct Dataset
     /** Append one example. */
     void add(std::vector<double> features, int label);
 
+    /**
+     * Append one example from a caller-owned row of @p n doubles —
+     * the form streaming producers (corpus replay) use so the source
+     * buffer can be reused across rows.
+     */
+    void add(const double *features, std::size_t n, int label);
+
     /** Number of examples. */
     std::size_t size() const { return x.size(); }
 

@@ -9,16 +9,27 @@ Three modes:
       PARALLEL_DIR and that their "tables" payloads are *identical* —
       the determinism contract (DESIGN.md section 9): an N-thread run
       must produce bit-identical metric values to a 1-thread run.
-      Also prints the measured speedup (serial wall / parallel wall)
-      per bench.
+      When both runs replayed a corpus file (manifest config carries
+      "corpus_hash", see DESIGN.md section 15), the hashes must match
+      — comparing tables produced from two different corpora would
+      "pass" vacuously or fail confusingly, so a hash mismatch is its
+      own clear error. Also prints the measured speedup (serial wall /
+      parallel wall) per bench.
 
   regress DIR BASELINE_JSON [--tolerance FRAC] [--allow-missing]
+          [--fresh-dir DIR2]
       Fail if any bench's wall_seconds exceeds its checked-in serial
       baseline by more than FRAC (default 0.25, i.e. +25%). A bench
       without a baseline entry FAILS the gate with instructions for
       adding one, so new benches cannot silently dodge the gate; pass
       --allow-missing to downgrade that to a SKIP (e.g. while a new
       bench's baseline is still being calibrated).
+      With --fresh-dir, DIR must hold corpus-replay runs and DIR2 the
+      same benches run fresh; every bench that actually replayed
+      (manifest has corpus_hash) must be at least
+      baseline["corpus_replay_min_speedup"] times faster than its
+      fresh counterpart — the floor that keeps the zero-copy replay
+      path from silently regressing into re-extraction.
 
   metrics SERIAL_DIR PARALLEL_DIR
       Assert that every METRICS_*.json snapshot in SERIAL_DIR has a
@@ -74,6 +85,18 @@ def load_dir(path, pattern="BENCH_*.json", key="bench"):
     return out
 
 
+def corpus_hash_of(doc):
+    """The corpus content hash a bench run was replayed from, or None
+    for a fresh (in-memory extraction) run."""
+    manifest = doc.get("manifest")
+    if not isinstance(manifest, dict):
+        return None
+    config = manifest.get("config")
+    if not isinstance(config, dict):
+        return None
+    return config.get("corpus_hash")
+
+
 def cmd_compare(args):
     serial = load_dir(args.serial_dir)
     parallel = load_dir(args.parallel_dir)
@@ -82,6 +105,15 @@ def cmd_compare(args):
         pdoc = parallel.get(bench)
         if pdoc is None:
             print(f"FAIL {bench}: missing from {args.parallel_dir}")
+            failed = True
+            continue
+        shash = corpus_hash_of(sdoc)
+        phash = corpus_hash_of(pdoc)
+        if shash is not None and phash is not None and shash != phash:
+            print(f"FAIL {bench}: runs replayed different corpora "
+                  f"(corpus_hash {shash} vs {phash}); regenerate the "
+                  "cached corpus or point both runs at the same file "
+                  "before comparing tables")
             failed = True
             continue
         if sdoc["tables"] != pdoc["tables"]:
@@ -130,7 +162,50 @@ def cmd_regress(args):
         else:
             print(f"OK   {bench}: wall {wall:.2f}s within baseline "
                   f"{base:.2f}s + {args.tolerance:.0%}")
+    if args.fresh_dir:
+        failed |= check_replay_speedup(docs, baseline, args)
     return 1 if failed else 0
+
+
+def check_replay_speedup(replay_docs, baseline, args):
+    """regress --fresh-dir: replayed benches must beat their fresh
+    counterparts by the checked-in corpus_replay_min_speedup floor."""
+    floor = baseline.get("corpus_replay_min_speedup")
+    if not isinstance(floor, (int, float)) or isinstance(floor, bool):
+        sys.exit(f"bench_gate: {args.baseline} has no "
+                 "\"corpus_replay_min_speedup\" entry (required with "
+                 "--fresh-dir)")
+    fresh = load_dir(args.fresh_dir)
+    failed = False
+    checked = 0
+    for bench, rdoc in replay_docs.items():
+        if corpus_hash_of(rdoc) is None:
+            print(f"FAIL {bench}: run in {args.dir} did not replay a "
+                  "corpus (manifest has no corpus_hash) — the replay "
+                  "leg fell back to fresh extraction")
+            failed = True
+            continue
+        fdoc = fresh.get(bench)
+        if fdoc is None:
+            print(f"FAIL {bench}: missing from {args.fresh_dir}")
+            failed = True
+            continue
+        rwall = rdoc["wall_seconds"]
+        fwall = fdoc["wall_seconds"]
+        speedup = fwall / rwall if rwall > 0 else float("inf")
+        checked += 1
+        if speedup < floor:
+            print(f"FAIL {bench}: corpus replay speedup {speedup:.2f}x "
+                  f"below the {floor:.2f}x floor (fresh {fwall:.2f}s, "
+                  f"replay {rwall:.2f}s)")
+            failed = True
+        else:
+            print(f"OK   {bench}: corpus replay speedup {speedup:.2f}x "
+                  f">= {floor:.2f}x floor")
+    if checked == 0 and not failed:
+        sys.exit("bench_gate: --fresh-dir produced no replay/fresh "
+                 "pairs to check")
+    return failed
 
 
 def deterministic_view(doc, path):
@@ -195,6 +270,7 @@ def main():
     regress.add_argument("baseline")
     regress.add_argument("--tolerance", type=float, default=0.25)
     regress.add_argument("--allow-missing", action="store_true")
+    regress.add_argument("--fresh-dir", default=None)
     regress.set_defaults(func=cmd_regress)
     metrics = sub.add_parser("metrics")
     metrics.add_argument("serial_dir")
