@@ -115,7 +115,24 @@ init(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--threads" && i + 1 < argc) {
-            threads = std::strtoull(argv[++i], nullptr, 10);
+            // Strict parse: a typo like `--threads=abc` or `--threads
+            // 4x` must fail fast, not silently become 0 and flip the
+            // bench into env/hardware thread resolution.
+            const char *text = argv[++i];
+            char *end = nullptr;
+            errno = 0;
+            const unsigned long long parsed =
+                std::strtoull(text, &end, 10);
+            if (end == text || *end != '\0' || errno == ERANGE) {
+                std::fprintf(stderr,
+                             "%s: invalid --threads value '%s' "
+                             "(expected a non-negative integer)\n"
+                             "usage: %s [--threads N] [--smoke] "
+                             "[--corpus FILE]\n",
+                             argv[0], text, argv[0]);
+                std::exit(2);
+            }
+            threads = static_cast<std::size_t>(parsed);
         } else if (arg == "--smoke") {
             s.smoke = true;
         } else if (arg == "--corpus" && i + 1 < argc) {
@@ -168,7 +185,15 @@ serialBaselineSeconds(const std::string &name)
     pos = text.find(':', pos + key.size());
     if (pos == std::string::npos)
         return -1.0;
-    return std::strtod(text.c_str() + pos + 1, nullptr);
+    // End-pointer-validated parse: a malformed baseline entry must
+    // read as "no baseline" (negative), not as a silent 0.0 that
+    // turns wall-time gates and SLO floors into no-ops.
+    const char *start = text.c_str() + pos + 1;
+    char *end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start)
+        return -1.0;
+    return value;
 }
 
 } // namespace detail

@@ -125,6 +125,8 @@ struct ServeLedger
     std::uint64_t responses = serveCounter("serve.responses");
     std::uint64_t shedQueueFull = serveCounter("serve.shed_queue_full");
     std::uint64_t shedDeadline = serveCounter("serve.shed_deadline");
+    std::uint64_t shedDeadlineSubmit =
+        serveCounter("serve.shed_deadline_submit");
     std::uint64_t shedStopped = serveCounter("serve.shed_stopped");
     std::uint64_t shedQuota = serveCounter("serve.shed_quota");
     std::uint64_t shedCircuitOpen =
@@ -141,8 +143,8 @@ struct ServeLedger
 
     std::uint64_t shedTotal() const
     {
-        return shedQueueFull + shedDeadline + shedStopped + shedQuota +
-               shedCircuitOpen;
+        return shedQueueFull + shedDeadline + shedDeadlineSubmit +
+               shedStopped + shedQuota + shedCircuitOpen;
     }
 };
 

@@ -9,6 +9,8 @@
 
 #include "ml/metrics.hh"
 #include "support/logging.hh"
+#include "support/parallel.hh"
+#include "support/rng.hh"
 #include "support/tracing.hh"
 
 namespace rhmd::core
@@ -232,6 +234,57 @@ evadeRetrainGame(const Experiment &exp, const GameConfig &config)
         points.push_back(point);
     }
     return points;
+}
+
+support::StatusOr<std::unique_ptr<Rhmd>>
+retrainPool(const features::FeatureCorpus &base,
+            const std::vector<std::size_t> &train_idx,
+            const std::vector<features::ProgramFeatures> &flagged,
+            const PoolRetrainConfig &config)
+{
+    const support::ScopedSpan span("retrain_pool");
+    if (config.specs.empty())
+        return support::invalidArgumentError(
+            "retrainPool needs at least one detector spec");
+    for (std::size_t idx : train_idx) {
+        if (idx >= base.programs.size())
+            return support::invalidArgumentError(
+                "retrainPool train index ", idx,
+                " out of range (corpus has ", base.programs.size(),
+                " programs)");
+    }
+
+    // One detector per spec, trained in parallel. Seeds come from a
+    // SplitRng stream indexed by (generation, detector) so every
+    // retrain round draws fresh, order-independent randomness — the
+    // same derivation at any thread count, mirroring buildRhmd.
+    const SplitRng seeds(config.seed);
+    std::vector<std::unique_ptr<Hmd>> detectors =
+        support::parallelMap<std::unique_ptr<Hmd>>(
+            config.specs.size(), [&](std::size_t i) {
+                HmdConfig hmd_config;
+                hmd_config.algorithm = config.algorithm;
+                hmd_config.specs = {config.specs[i]};
+                hmd_config.opcodeTopK = config.opcodeTopK;
+                hmd_config.seed =
+                    seeds.seedAt((config.generation << 16) | i);
+                auto det = std::make_unique<Hmd>(hmd_config);
+
+                std::vector<const features::RawWindow *> windows;
+                std::vector<int> labels;
+                collectWindows(base, train_idx,
+                               config.specs[i].period, windows,
+                               labels);
+                for (const features::ProgramFeatures &prog : flagged)
+                    appendWindows(prog, config.specs[i].period, 1,
+                                  windows, labels);
+                det->train(windows, labels);
+                return det;
+            });
+
+    return tryMakeRhmd(std::move(detectors), {},
+                       config.seed ^ (config.generation * 0x9e37ULL) ^
+                           0xabcdefULL);
 }
 
 } // namespace rhmd::core

@@ -8,11 +8,13 @@
 #ifndef RHMD_CORE_RETRAINER_HH
 #define RHMD_CORE_RETRAINER_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hh"
 #include "core/reverse_engineer.hh"
+#include "core/rhmd.hh"
 
 namespace rhmd::core
 {
@@ -89,6 +91,40 @@ struct GameConfig
  */
 std::vector<GenerationPoint> evadeRetrainGame(const Experiment &exp,
                                               const GameConfig &config);
+
+/**
+ * Shape of the candidate pool the online retraining loop rebuilds:
+ * one base detector per spec, a uniform switching policy, seeds
+ * derived per detector from (seed, generation) with SplitRng so
+ * successive candidates train on independent streams and the result
+ * is bit-identical at any thread count.
+ */
+struct PoolRetrainConfig
+{
+    std::string algorithm = "LR";
+    std::vector<features::FeatureSpec> specs;
+    std::size_t opcodeTopK = 16;
+    std::uint64_t seed = 0x5eed2e7a;
+
+    /** Retrain round; mixed into each detector's training seed. */
+    std::uint64_t generation = 0;
+};
+
+/**
+ * Corpus-fed retraining entry point for the online pipeline
+ * (DESIGN.md §16): train a fresh candidate pool on @p base's
+ * @p train_idx programs plus @p flagged — suspect programs captured
+ * from live traffic (labeled malware; typically replayed zero-copy
+ * from a flight-recorder corpus file). Training parallelizes across
+ * detectors on the deterministic thread pool; @p flagged may be
+ * empty (rebuild on ground truth alone). Returns InvalidArgument for
+ * an empty spec list, or the pool-invariant error from tryMakeRhmd.
+ */
+support::StatusOr<std::unique_ptr<Rhmd>>
+retrainPool(const features::FeatureCorpus &base,
+            const std::vector<std::size_t> &train_idx,
+            const std::vector<features::ProgramFeatures> &flagged,
+            const PoolRetrainConfig &config);
 
 } // namespace rhmd::core
 

@@ -14,6 +14,7 @@
 #include "corpus/writer.hh"
 #include "features/corpus.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/parallel.hh"
 #include "trace/generator.hh"
 
@@ -56,8 +57,22 @@ resolveReplayPath(const core::ExperimentConfig &config)
     const std::string path =
         std::string(dir) + "/" + cacheFileName(configKey(config));
     std::FILE *file = std::fopen(path.c_str(), "rb");
-    if (file == nullptr)
+    if (file == nullptr) {
+        // The caller asked for replay (the env var is set) but the
+        // cache holds no key-matching file: fresh extraction will run
+        // instead. Silent fallback hides CI cache misconfiguration —
+        // say so once per lookup and count it (the replay CI leg
+        // asserts this counter never appears).
+        static support::Counter &misses = support::metrics().counter(
+            "corpus.replay_miss",
+            "RHMD_CORPUS_DIR lookups that found no key-matching "
+            "corpus and fell back to fresh extraction");
+        misses.add(1);
+        warn(rhmd::detail::concat(
+            "RHMD_CORPUS_DIR is set but '", path,
+            "' does not exist; falling back to fresh extraction"));
         return "";
+    }
     std::fclose(file);
     return path;
 }

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Drift detector implementation.
+ */
+
+#include "pipeline/drift.hh"
+
+#include "support/logging.hh"
+
+namespace rhmd::pipeline
+{
+
+DriftDetector::DriftDetector(DriftConfig config) : config_(config)
+{
+    fatal_if(config_.window == 0, "DriftDetector window must be > 0");
+    fatal_if(config_.minObservations == 0,
+             "DriftDetector minObservations must be > 0");
+    fatal_if(config_.minObservations > config_.window,
+             "DriftDetector minObservations (", config_.minObservations,
+             ") cannot exceed the window (", config_.window, ")");
+}
+
+bool
+DriftDetector::suspect(const DriftObservation &obs) const
+{
+    return !obs.degraded && obs.programDecision == 0 &&
+           obs.meanMargin < config_.marginFloor;
+}
+
+void
+DriftDetector::observe(const DriftObservation &obs)
+{
+    Entry entry;
+    entry.suspect = suspect(obs);
+    entry.failures = obs.detectorFailures;
+    window_.push_back(entry);
+    suspects_ += entry.suspect ? 1 : 0;
+    failures_ += entry.failures;
+    if (window_.size() > config_.window) {
+        const Entry &old = window_.front();
+        suspects_ -= old.suspect ? 1 : 0;
+        failures_ -= old.failures;
+        window_.pop_front();
+    }
+}
+
+bool
+DriftDetector::drifted() const
+{
+    if (window_.size() < config_.minObservations)
+        return false;
+    const double n = static_cast<double>(window_.size());
+    if (static_cast<double>(suspects_) / n >=
+        config_.suspectRateThreshold)
+        return true;
+    return static_cast<double>(failures_) / n >=
+           config_.failureRateThreshold;
+}
+
+DriftStats
+DriftDetector::stats() const
+{
+    DriftStats stats;
+    stats.observations = window_.size();
+    stats.suspects = suspects_;
+    if (!window_.empty()) {
+        const double n = static_cast<double>(window_.size());
+        stats.suspectRate = static_cast<double>(suspects_) / n;
+        stats.failureRate = static_cast<double>(failures_) / n;
+    }
+    return stats;
+}
+
+void
+DriftDetector::reset()
+{
+    window_.clear();
+    suspects_ = 0;
+    failures_ = 0;
+}
+
+} // namespace rhmd::pipeline

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Drift/evasion detection over the serving stream.
+ *
+ * The paper's attacker (Sec. 6) does not announce itself: evasive
+ * variants are crafted to score *just* on the benign side of the
+ * decision boundary, so the first observable symptom is not a wrong
+ * label (there is no ground truth online) but a statistical change in
+ * how the pool scores recent traffic — benign-decided requests whose
+ * mean score margin collapses toward the threshold, and rising
+ * detector fail-over rates (echoing the anomaly-signal framing of
+ * Tang et al., PAPERS.md). DriftDetector watches a sliding window of
+ * per-request observations derived from ServeReport and fires when
+ * either signal crosses its configured rate.
+ *
+ * Everything here is a pure function of the observation sequence: no
+ * clocks, no randomness, no thread state. Fed the same reports in the
+ * same order, it fires at the same request at any worker count —
+ * which is what lets pipeline.* metrics sit in the Deterministic
+ * domain and the retrain-loop bench diff its tables across threads.
+ */
+
+#ifndef RHMD_PIPELINE_DRIFT_HH
+#define RHMD_PIPELINE_DRIFT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace rhmd::pipeline
+{
+
+/** Drift thresholds; defaults suit the serve-preset corpus. */
+struct DriftConfig
+{
+    /** Sliding window of recent requests the rates are measured on. */
+    std::size_t window = 64;
+
+    /**
+     * Minimum observations before drift can fire — a handful of
+     * borderline requests after a pool swap must not immediately
+     * retrigger retraining.
+     */
+    std::size_t minObservations = 32;
+
+    /**
+     * A benign-decided request whose mean score margin is below this
+     * is a suspect: it sat close enough to the boundary to be an
+     * evasive variant rather than ordinary benign traffic.
+     */
+    double marginFloor = 0.05;
+
+    /** Suspect share of the window at which drift fires. */
+    double suspectRateThreshold = 0.20;
+
+    /**
+     * Mean detector fail-overs per request at which drift fires
+     * (the rising-failover signal, independent of margins).
+     */
+    double failureRateThreshold = 0.25;
+};
+
+/** One served request, reduced to the drift-relevant signals. */
+struct DriftObservation
+{
+    /** Majority program decision (0 benign, 1 malware). */
+    int programDecision = 0;
+
+    /** ServeReport::meanMargin of the classified epochs. */
+    double meanMargin = 0.0;
+
+    /** Detector fail-overs spent serving the request. */
+    std::size_t detectorFailures = 0;
+
+    /** True for fail-open pass-throughs (never suspects). */
+    bool degraded = false;
+};
+
+/** Windowed rates behind the last drifted() verdict. */
+struct DriftStats
+{
+    std::size_t observations = 0;   ///< requests in the window
+    std::size_t suspects = 0;       ///< margin-collapsed benigns
+    double suspectRate = 0.0;
+    double failureRate = 0.0;       ///< mean fail-overs per request
+};
+
+/**
+ * Sliding-window drift detector. Not thread-safe; the pipeline
+ * serializes access under its own mutex.
+ */
+class DriftDetector
+{
+  public:
+    explicit DriftDetector(DriftConfig config);
+
+    /**
+     * Would @p obs count as a suspect under this configuration?
+     * Stateless; the pipeline uses it to decide which programs to
+     * hand to the flight recorder.
+     */
+    bool suspect(const DriftObservation &obs) const;
+
+    /** Fold one served request into the window. */
+    void observe(const DriftObservation &obs);
+
+    /**
+     * True when the window holds at least minObservations and either
+     * the suspect rate or the fail-over rate crossed its threshold.
+     */
+    bool drifted() const;
+
+    /** Current windowed rates (for step reports and tests). */
+    DriftStats stats() const;
+
+    /**
+     * Forget the window — called after a retrain cycle resolves, so
+     * the next verdict is about traffic served by the new incumbent,
+     * not the traffic that triggered the cycle.
+     */
+    void reset();
+
+    const DriftConfig &config() const { return config_; }
+
+  private:
+    DriftConfig config_;
+
+    struct Entry
+    {
+        bool suspect = false;
+        std::size_t failures = 0;
+    };
+    std::deque<Entry> window_;
+    std::size_t suspects_ = 0;
+    std::size_t failures_ = 0;
+};
+
+} // namespace rhmd::pipeline
+
+#endif // RHMD_PIPELINE_DRIFT_HH

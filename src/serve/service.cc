@@ -66,7 +66,13 @@ struct ServeCounters
         support::MetricDomain::Timing);
     support::Counter &shedDeadline = support::metrics().counter(
         "serve.shed_deadline",
-        "requests shed after exceeding the queueing deadline",
+        "requests shed at batch pop after exceeding the queueing "
+        "deadline",
+        support::MetricDomain::Timing);
+    support::Counter &shedDeadlineSubmit = support::metrics().counter(
+        "serve.shed_deadline_submit",
+        "expired requests evicted from a full queue at submit to make "
+        "room for live work",
         support::MetricDomain::Timing);
     support::Counter &shedStopped = support::metrics().counter(
         "serve.shed_stopped",
@@ -196,9 +202,38 @@ DetectionService::submit(const features::ProgramFeatures &prog,
         req.admitted = true;
     }
 
+    // A full queue first reclaims dead capacity: requests whose wait
+    // already blew the deadline can never be answered in budget, so
+    // they are evicted (and shed under their own counter) instead of
+    // letting a live request bounce off capacity they occupy.
     std::size_t depth = 0;
-    if (!queue_.tryPush(std::move(req), &depth)) {
-        // A failed tryPush never moves from its argument, so the
+    bool pushed = false;
+    std::vector<Request> evicted;
+    if (config_.deadlineSeconds > 0.0) {
+        const auto now = std::chrono::steady_clock::now();
+        pushed = queue_.tryPushEvicting(
+            std::move(req),
+            [&](const Request &queued) {
+                return std::chrono::duration<double>(now -
+                                                     queued.enqueued)
+                           .count() > config_.deadlineSeconds;
+            },
+            evicted, &depth);
+        for (Request &dead : evicted) {
+            if (dead.admitted)
+                admission_.release(dead.tenant);
+            counters.shedDeadlineSubmit.add(1);
+            if (config_.breaker.enabled)
+                breaker_.recordFailure(now_s);
+            dead.promise.set_value(support::unavailableError(
+                "request shed: queue wait exceeded the ",
+                config_.deadlineSeconds, "s deadline"));
+        }
+    } else {
+        pushed = queue_.tryPush(std::move(req), &depth);
+    }
+    if (!pushed) {
+        // A failed push never moves from its argument, so the
         // promise is still ours to fulfill — and the admission charge
         // is ours to return.
         if (req.admitted)
@@ -238,6 +273,44 @@ DetectionService::healthSnapshot() const
     return state->health;
 }
 
+support::Status
+DetectionService::installShadow(
+    std::shared_ptr<const core::Rhmd> candidate)
+{
+    if (candidate == nullptr)
+        return support::invalidArgumentError(
+            "installShadow needs a candidate pool");
+    const support::Status valid = candidate->validate();
+    if (!valid.isOk())
+        return support::failedPreconditionError(
+            "shadow candidate rejected: ", valid.toString());
+    const std::lock_guard<std::mutex> lock(shadowMutex_);
+    shadow_ = std::move(candidate);
+    shadowStats_ = ShadowStats{};
+    return support::Status();
+}
+
+void
+DetectionService::clearShadow()
+{
+    const std::lock_guard<std::mutex> lock(shadowMutex_);
+    shadow_.reset();
+}
+
+bool
+DetectionService::shadowActive() const
+{
+    const std::lock_guard<std::mutex> lock(shadowMutex_);
+    return shadow_ != nullptr;
+}
+
+ShadowStats
+DetectionService::shadowStats() const
+{
+    const std::lock_guard<std::mutex> lock(shadowMutex_);
+    return shadowStats_;
+}
+
 void
 DetectionService::stop()
 {
@@ -258,9 +331,46 @@ DetectionService::workerLoop()
 {
     std::vector<Request> batch;
     while (queue_.popBatch(batch, config_.maxBatch) > 0) {
+        // Pop-boundary deadline shed: expired requests leave before
+        // any batch is planned, so a batch of stale work costs no
+        // scoring and an all-expired pop plans nothing at all.
+        shedExpired(batch);
+        if (batch.empty())
+            continue;
         chaos_.maybeStallWorker();
         processBatch(batch);
     }
+}
+
+void
+DetectionService::shedExpired(std::vector<Request> &batch)
+{
+    if (config_.deadlineSeconds <= 0.0)
+        return;
+    ServeCounters &counters = serveCounters();
+    const double now_s = nowSeconds();
+    const auto now = std::chrono::steady_clock::now();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        Request &req = batch[i];
+        const double waited =
+            std::chrono::duration<double>(now - req.enqueued).count();
+        if (waited > config_.deadlineSeconds) {
+            if (req.admitted)
+                admission_.release(req.tenant);
+            counters.shedDeadline.add(1);
+            if (config_.breaker.enabled)
+                breaker_.recordFailure(now_s);
+            req.promise.set_value(support::unavailableError(
+                "request shed after queueing ", waited, "s (deadline ",
+                config_.deadlineSeconds, "s)"));
+            continue;
+        }
+        if (kept != i)
+            batch[kept] = std::move(req);
+        ++kept;
+    }
+    batch.resize(kept);
 }
 
 void
@@ -271,7 +381,8 @@ DetectionService::processBatch(std::vector<Request> &batch)
 
     // Every admitted request has left the queue: return its admission
     // charge before anything else so fair-share accounting tracks
-    // real queue occupancy.
+    // real queue occupancy. (Expired requests already returned theirs
+    // in shedExpired; the batch here is live work only.)
     if (config_.admission.enabled) {
         for (const Request &req : batch) {
             if (req.admitted)
@@ -279,30 +390,10 @@ DetectionService::processBatch(std::vector<Request> &batch)
         }
     }
 
-    // Deadline shedding: requests that already waited longer than the
-    // budget get Unavailable before any scoring work is spent.
     std::vector<Request *> live;
     live.reserve(batch.size());
-    const auto now = std::chrono::steady_clock::now();
-    for (Request &req : batch) {
-        if (config_.deadlineSeconds > 0.0) {
-            const double waited =
-                std::chrono::duration<double>(now - req.enqueued)
-                    .count();
-            if (waited > config_.deadlineSeconds) {
-                counters.shedDeadline.add(1);
-                if (config_.breaker.enabled)
-                    breaker_.recordFailure(now_s);
-                req.promise.set_value(support::unavailableError(
-                    "request shed after queueing ", waited,
-                    "s (deadline ", config_.deadlineSeconds, "s)"));
-                continue;
-            }
-        }
+    for (Request &req : batch)
         live.push_back(&req);
-    }
-    if (live.empty())
-        return;
 
     counters.batches.add(1);
     counters.batchSize.observe(static_cast<double>(live.size()));
@@ -366,6 +457,9 @@ DetectionService::processBatch(std::vector<Request> &batch)
     // Per live request: per-epoch decision, -1 while unclassified.
     std::vector<std::vector<int>> decided(live.size());
     std::vector<std::size_t> failures(live.size(), 0);
+    // Summed |score - threshold| over classified epochs (the margin
+    // signal behind ServeReport::meanMargin).
+    std::vector<double> marginSum(live.size(), 0.0);
 
     for (std::size_t r = 0; r < live.size(); ++r) {
         const features::ProgramFeatures &prog = *live[r]->prog;
@@ -413,6 +507,8 @@ DetectionService::processBatch(std::vector<Request> &batch)
             ++valid;
             decided[slot.req][slot.epoch] =
                 scores[i] >= det.threshold() ? 1 : 0;
+            marginSum[slot.req] +=
+                std::abs(scores[i] - det.threshold());
         }
         const std::lock_guard<std::mutex> lock(state->healthMutex);
         for (std::size_t i = 0; i < valid; ++i)
@@ -467,13 +563,22 @@ DetectionService::processBatch(std::vector<Request> &batch)
             state->health.recordSuccess(pick);
             decided[f.req][f.epoch] =
                 score >= det.threshold() ? 1 : 0;
+            marginSum[f.req] += std::abs(score - det.threshold());
             break;
         }
     }
 
     // Phase 4 — fulfill: compact each request's classified epochs
     // into its report, majority-vote the program decision, stamp the
-    // pool version the batch was planned against.
+    // pool version the batch was planned against. When a shadow
+    // candidate is installed, each classified request is scored
+    // against it first (the submitted program is only guaranteed
+    // alive until its promise resolves).
+    std::shared_ptr<const core::Rhmd> shadow;
+    {
+        const std::lock_guard<std::mutex> lock(shadowMutex_);
+        shadow = shadow_;
+    }
     for (std::size_t r = 0; r < live.size(); ++r) {
         ServeReport report;
         report.epochs = decided[r].size();
@@ -498,13 +603,63 @@ DetectionService::processBatch(std::vector<Request> &batch)
             malware_votes += d != 0 ? 1 : 0;
         report.programDecision =
             2 * malware_votes >= report.decisions.size() ? 1 : 0;
+        report.meanMargin =
+            marginSum[r] / static_cast<double>(report.classified);
         counters.responses.add(1);
         if (report.programDecision == 1)
             counters.malwareFlagged.add(1);
         if (config_.breaker.enabled)
             breaker_.recordSuccess(now_s);
+        if (shadow != nullptr)
+            shadowScore(*live[r]->prog, live[r]->key,
+                        report.programDecision, *shadow);
         live[r]->promise.set_value(std::move(report));
     }
+}
+
+void
+DetectionService::shadowScore(const features::ProgramFeatures &prog,
+                              std::uint64_t key, int live_decision,
+                              const core::Rhmd &candidate)
+{
+    // Same per-key stream derivation as the live plan, so the shadow
+    // verdict for a key is a pure function of (service seed, key,
+    // candidate) — independent of batch composition and of the live
+    // pool version the request happened to be served by.
+    const std::uint32_t epoch_len = candidate.decisionPeriod();
+    const auto &epochs = prog.windows(epoch_len);
+    Rng rng = switchRng_.at(key);
+    std::size_t malware_votes = 0;
+    std::size_t classified = 0;
+    double margin_sum = 0.0;
+    for (std::size_t e = 0; e < epochs.size(); ++e) {
+        const std::size_t pick = rng.weightedIndex(candidate.policy());
+        const core::Hmd &det = *candidate.detectors()[pick];
+        const std::uint32_t period = det.decisionPeriod();
+        const std::size_t index = e * (epoch_len / period);
+        const auto &windows = prog.windows(period);
+        panic_if(index >= windows.size(),
+                 "shadow window index out of range for period ",
+                 period);
+        const double score = det.windowScore(windows[index]);
+        if (!validScore(score))
+            continue;
+        ++classified;
+        malware_votes += score >= det.threshold() ? 1 : 0;
+        margin_sum += std::abs(score - det.threshold());
+    }
+    const int shadow_decision =
+        classified > 0 && 2 * malware_votes >= classified ? 1 : 0;
+    const std::lock_guard<std::mutex> lock(shadowMutex_);
+    shadowStats_.requests += 1;
+    shadowStats_.agreements += shadow_decision == live_decision ? 1 : 0;
+    shadowStats_.shadowMalware +=
+        static_cast<std::size_t>(shadow_decision);
+    shadowStats_.liveMalware +=
+        static_cast<std::size_t>(live_decision);
+    shadowStats_.marginSum +=
+        classified > 0 ? margin_sum / static_cast<double>(classified)
+                       : 0.0;
 }
 
 } // namespace rhmd::serve

@@ -28,10 +28,23 @@
  * (serve.shed_circuit_open), per-tenant token buckets and fair-share
  * admission shed abusive tenants (serve.shed_quota), a full queue
  * sheds with backpressure (serve.shed_queue_full), and a configured
- * deadline sheds requests that waited too long before scoring work is
- * spent on them (serve.shed_deadline). When the entire pool is
- * quarantined the service takes the configured fail-open (degraded
- * benign pass-through) or fail-closed (Unavailable) decision.
+ * deadline sheds expired requests at both queue boundaries: a full
+ * queue first evicts requests whose wait already blew the budget so
+ * dead work stops occupying capacity live requests would be rejected
+ * for (serve.shed_deadline_submit), and workers shed what expired by
+ * pop time before any batch is planned (serve.shed_deadline). When
+ * the entire pool is quarantined the service takes the configured
+ * fail-open (degraded benign pass-through) or fail-closed
+ * (Unavailable) decision.
+ *
+ * A shadow lane supports online retraining (DESIGN.md §16): when a
+ * candidate pool is installed with installShadow(), every live
+ * request that produced a classification is additionally scored
+ * against the candidate — same per-key switching stream, no health
+ * coupling, never touching the caller's promise — and the running
+ * live-vs-candidate agreement is readable through shadowStats(). The
+ * pipeline promotes through swapPool() only after the shadow lane
+ * has seen enough live traffic.
  *
  * Determinism (DESIGN.md §11/§12): per-request switching randomness
  * is derived from (service seed, caller-supplied request key) with
@@ -134,6 +147,16 @@ struct ServeReport
     /** Majority program-level decision (ties count as malware). */
     int programDecision = 0;
 
+    /**
+     * Mean |score - threshold| over the classified epochs: how far
+     * from the decision boundary this request's scores sat. Evasive
+     * traffic pushed *just* under the threshold collapses this margin
+     * while leaving programDecision benign — the drift signal the
+     * retraining pipeline watches (DESIGN.md §16). Deterministic per
+     * (request key, pool version), like the decisions.
+     */
+    double meanMargin = 0.0;
+
     /** Pool version this request was scored against. */
     std::uint64_t poolVersion = 0;
 
@@ -143,6 +166,33 @@ struct ServeReport
      * is benign by policy, not by classification.
      */
     bool degraded = false;
+};
+
+/**
+ * What the shadow lane observed so far for the installed candidate:
+ * live requests replayed against it and how often the candidate's
+ * program decision agreed with the serving pool's. The counts are
+ * deterministic in the set of (key, program) pairs served while the
+ * shadow was active — shadow scoring uses the same per-key switching
+ * streams as the live lane, so batch composition and worker count do
+ * not affect them.
+ */
+struct ShadowStats
+{
+    /** Live requests scored against the candidate. */
+    std::size_t requests = 0;
+
+    /** Requests where candidate and live program decisions matched. */
+    std::size_t agreements = 0;
+
+    /** Requests the candidate flagged malware. */
+    std::size_t shadowMalware = 0;
+
+    /** Requests the live pool flagged malware. */
+    std::size_t liveMalware = 0;
+
+    /** Sum of the candidate's per-request mean margins. */
+    double marginSum = 0.0;
 };
 
 /**
@@ -217,6 +267,30 @@ class DetectionService
     swapPool(std::shared_ptr<const core::Rhmd> candidate);
 
     /**
+     * Install @p candidate as the shadow pool: from the next drained
+     * batch on, every live request that produced a classification is
+     * also scored against it. Shadow scoring runs before the
+     * request's promise is fulfilled (the submitted program is only
+     * guaranteed alive until then), adding one pool's scoring cost
+     * per request while a candidate is under evaluation. Replaces any
+     * previous shadow and resets the stats. Rejects structurally
+     * invalid candidates; shadow scoring requires submitted programs
+     * to carry windows for the candidate's base periods too.
+     */
+    support::Status
+    installShadow(std::shared_ptr<const core::Rhmd> candidate);
+
+    /** Remove the shadow pool (stats stay readable until the next
+     *  installShadow). */
+    void clearShadow();
+
+    /** True while a shadow candidate is installed. */
+    bool shadowActive() const;
+
+    /** Consistent copy of the shadow lane's running stats. */
+    ShadowStats shadowStats() const;
+
+    /**
      * Close the queue, serve the already-admitted backlog, and join
      * the workers. Idempotent; submit() after stop() sheds under
      * serve.shed_stopped.
@@ -273,7 +347,27 @@ class DetectionService
     };
 
     void workerLoop();
+
+    /**
+     * Shed the requests of @p batch whose queue wait exceeded the
+     * deadline (serve.shed_deadline) and erase them, so planning only
+     * ever sees live work. Admission charges of shed requests are
+     * returned here. No-op when no deadline is configured.
+     */
+    void shedExpired(std::vector<Request> &batch);
+
     void processBatch(std::vector<Request> &batch);
+
+    /**
+     * Score one classified live request against the shadow pool with
+     * its own (seed, key) switching stream and fold the outcome into
+     * shadowStats_. Plain scoring: no chaos, no health coupling, no
+     * failover — the candidate is evaluated as it would serve.
+     */
+    void shadowScore(const features::ProgramFeatures &prog,
+                     std::uint64_t key, int live_decision,
+                     const core::Rhmd &candidate);
+
     double nowSeconds() const;
 
     ServeConfig config_;
@@ -284,6 +378,11 @@ class DetectionService
     AdmissionController admission_;
     CircuitBreaker breaker_;
     ChaosInjector chaos_;
+
+    /** Guards the shadow pool pointer and its running stats. */
+    mutable std::mutex shadowMutex_;
+    std::shared_ptr<const core::Rhmd> shadow_;
+    ShadowStats shadowStats_;
 
     support::BoundedQueue<Request> queue_;
     std::vector<std::thread> workers_;

@@ -68,6 +68,42 @@ class BoundedQueue
     }
 
     /**
+     * Non-blocking enqueue that may reclaim dead capacity: when the
+     * queue is full, elements for which @p expired returns true are
+     * moved from the front into @p evicted (oldest first) until space
+     * opens up. Returns false — with @p item intact and @p evicted
+     * possibly non-empty — when the queue is closed or still full
+     * after eviction. The caller owns the evicted elements and
+     * decides what to tell their clients (the serving layer sheds
+     * them under its deadline counter rather than letting expired
+     * work occupy capacity that live requests are rejected for).
+     */
+    template <typename Expired>
+    bool
+    tryPushEvicting(T &&item, Expired &&expired,
+                    std::vector<T> &evicted,
+                    std::size_t *depth_out = nullptr)
+    {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_)
+                return false;
+            while (items_.size() >= capacity_ &&
+                   expired(items_.front())) {
+                evicted.push_back(std::move(items_.front()));
+                items_.pop_front();
+            }
+            if (items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(item));
+            if (depth_out != nullptr)
+                *depth_out = items_.size();
+        }
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
      * Blocking enqueue: waits for space, returns false only when the
      * queue was closed before the item could be accepted.
      */

@@ -28,6 +28,7 @@
 #include "features/corpus.hh"
 #include "features/spec.hh"
 #include "ml/dataset.hh"
+#include "support/metrics.hh"
 #include "support/parallel.hh"
 #include "trace/generator.hh"
 
@@ -430,20 +431,33 @@ TEST(CorpusCache, ResolveReplayPathUsesEnvDirectory)
     std::remove(
         (dir + "/" + corpus::cacheFileName(corpus::configKey(config)))
             .c_str());
+    const std::uint64_t misses_before =
+        support::metrics().counterValue("corpus.replay_miss");
     ::unsetenv("RHMD_CORPUS_DIR");
     EXPECT_EQ(corpus::resolveReplayPath(config), "");
+    // No env var → not a replay request → no miss is counted.
+    EXPECT_EQ(support::metrics().counterValue("corpus.replay_miss"),
+              misses_before);
 
     ::setenv("RHMD_CORPUS_DIR", dir.c_str(), 1);
-    // Directory exists but holds no matching file → fresh fallback.
+    // Directory exists but holds no matching file → fresh fallback,
+    // counted: the replay CI leg asserts this counter never appears
+    // in its metrics snapshots (a miss there means the cache key
+    // drifted from the bench configuration).
     ASSERT_EQ(::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST, true);
     EXPECT_EQ(corpus::resolveReplayPath(config), "");
+    EXPECT_EQ(support::metrics().counterValue("corpus.replay_miss"),
+              misses_before + 1);
 
     const std::string path =
         dir + "/" + corpus::cacheFileName(corpus::configKey(config));
     ASSERT_TRUE(corpus::writeExperimentCorpus(config, path).isOk());
+    // A key-matching hit resolves without touching the miss counter.
     EXPECT_EQ(corpus::resolveReplayPath(config), path);
     ::unsetenv("RHMD_CORPUS_DIR");
     EXPECT_EQ(corpus::resolveReplayPath(config), "");
+    EXPECT_EQ(support::metrics().counterValue("corpus.replay_miss"),
+              misses_before + 1);
 }
 
 TEST(CorpusCache, PresetsAreKnownAndSized)

@@ -14,9 +14,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <map>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/experiment.hh"
@@ -522,6 +524,75 @@ TEST(ServeAdmission, BreakerOpensOnShedBurstThenShedsAtSubmit)
     ASSERT_FALSE(shed.isOk());
     EXPECT_NE(shed.status().message().find("circuit breaker"),
               std::string::npos);
+}
+
+TEST(ServeAdmission, FullQueueEvictsExpiredAtSubmitAndPopShedsTheRest)
+{
+    const auto &programs = sharedExperiment().corpus().programs;
+
+    std::atomic<bool> first_batch{true};
+    std::promise<void> planned;
+    std::promise<void> release;
+    std::shared_future<void> release_future =
+        release.get_future().share();
+
+    ServeConfig sc;
+    sc.workers = 1;
+    sc.maxBatch = 1;
+    sc.queueCapacity = 2;
+    sc.deadlineSeconds = 0.5;
+    sc.chaos.enabled = true; // hooks only; all fault rates stay 0
+    sc.chaos.onBatchPlanned = [&](std::uint64_t) {
+        if (first_batch.exchange(false)) {
+            planned.set_value();
+            release_future.wait();
+        }
+    };
+    DetectionService service(threeDetectorPool(), sc);
+
+    const auto &submit_shed = support::metrics().counter(
+        "serve.shed_deadline_submit", "",
+        support::MetricDomain::Timing);
+    const auto &pop_shed = support::metrics().counter(
+        "serve.shed_deadline", "", support::MetricDomain::Timing);
+    const std::uint64_t submit_before = submit_shed.value();
+    const std::uint64_t pop_before = pop_shed.value();
+
+    // A is popped and then held in flight by the chaos hook; B and C
+    // fill the queue behind it.
+    auto held = service.submit(programs[0], 0);
+    planned.get_future().wait();
+    auto expired_b = service.submit(programs[0], 1);
+    auto expired_c = service.submit(programs[0], 2);
+
+    // Let B and C blow the deadline while the queue stays full.
+    std::this_thread::sleep_for(std::chrono::milliseconds(750));
+
+    // D would bounce off a full queue, but the submit boundary first
+    // reclaims dead capacity: B (oldest, expired) is evicted to make
+    // room and D is admitted in its place.
+    auto live = service.submit(programs[0], 3);
+    release.set_value();
+
+    const auto b = expired_b.get();
+    ASSERT_FALSE(b.isOk());
+    EXPECT_EQ(b.status().code(), support::StatusCode::Unavailable);
+    EXPECT_NE(b.status().message().find("queue wait exceeded"),
+              std::string::npos);
+
+    // Eviction stops as soon as space opens, so C was still queued at
+    // submit time; the worker sheds it at the pop boundary instead,
+    // under the other counter and with the pop-shed message.
+    const auto c = expired_c.get();
+    ASSERT_FALSE(c.isOk());
+    EXPECT_EQ(c.status().code(), support::StatusCode::Unavailable);
+    EXPECT_NE(c.status().message().find("shed after queueing"),
+              std::string::npos);
+
+    ASSERT_TRUE(held.get().isOk());
+    ASSERT_TRUE(live.get().isOk());
+    EXPECT_EQ(submit_shed.value() - submit_before, 1u);
+    EXPECT_EQ(pop_shed.value() - pop_before, 1u);
 }
 
 // --- Service: degradation -------------------------------------------
